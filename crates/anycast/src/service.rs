@@ -1,0 +1,444 @@
+//! An anycast service: one IP prefix, many sites, one routing state.
+//!
+//! Each root letter (and each non-root anycast deployment like `.nl`) is
+//! an [`AnycastService`]: a set of [`SiteState`]s, the BGP origins they
+//! announce, and the current [`Rib`] mapping every AS to its catchment
+//! site. The service advances in fluid steps (offered load → queue state
+//! → policy decisions → possible route changes) and answers point-in-time
+//! probe queries for the measurement layer.
+
+use crate::facility::FacilityTable;
+use crate::site::{SiteIdx, SiteSpec, SiteState};
+use crate::policy::StressPolicy;
+use rootcast_bgp::{compute_rib_scoped, Origin, Rib};
+use rootcast_dns::Letter;
+use rootcast_netsim::{SimDuration, SimTime};
+use rootcast_topology::{AsGraph, AsId};
+
+/// Base server processing time added to every successful reply.
+const SERVER_PROCESSING: SimDuration = SimDuration::from_micros(500);
+
+/// What a probe toward this service would experience right now.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeView {
+    /// Index of the site whose catchment contains the prober.
+    pub site: SiteIdx,
+    /// 1-based ordinal of the server that would answer.
+    pub server: u16,
+    /// Round-trip time if the query is answered.
+    pub rtt: SimDuration,
+    /// Probability the query (or its response) is dropped.
+    pub drop_prob: f64,
+}
+
+/// One anycast deployment.
+#[derive(Debug, Clone)]
+pub struct AnycastService {
+    /// Human-readable name (`"K-root"`, `".nl anycast"`).
+    pub name: String,
+    /// The root letter, if this service is one.
+    pub letter: Option<Letter>,
+    sites: Vec<SiteState>,
+    origins: Vec<Origin>,
+    rib: Rib,
+    /// Per-AS last-mile delay (indexed by `AsId.0`), snapshotted from the
+    /// topology at construction; added to probe RTTs.
+    access: Vec<SimDuration>,
+}
+
+/// Outcome of a policy step: which sites changed announcement state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoutingChanges {
+    pub withdrew: Vec<SiteIdx>,
+    pub reannounced: Vec<SiteIdx>,
+}
+
+impl RoutingChanges {
+    pub fn is_empty(&self) -> bool {
+        self.withdrew.is_empty() && self.reannounced.is_empty()
+    }
+}
+
+impl AnycastService {
+    /// Build a service and compute its initial routing.
+    pub fn new(
+        name: &str,
+        letter: Option<Letter>,
+        graph: &AsGraph,
+        site_specs: Vec<SiteSpec>,
+    ) -> AnycastService {
+        assert!(!site_specs.is_empty(), "a service needs at least one site");
+        let origins: Vec<Origin> = site_specs
+            .iter()
+            .map(|s| Origin {
+                host: s.host_as,
+                scope: s.scope,
+                prepend: s.prepend,
+            })
+            .collect();
+        let sites: Vec<SiteState> = site_specs.into_iter().map(SiteState::new).collect();
+        let active: Vec<bool> = sites.iter().map(|s| s.announced).collect();
+        let rib = compute_rib_scoped(graph, &origins, &active);
+        let access = (0..graph.len() as u32)
+            .map(|i| graph.access_delay(rootcast_topology::AsId(i)))
+            .collect();
+        AnycastService {
+            name: name.to_string(),
+            letter,
+            sites,
+            origins,
+            rib,
+            access,
+        }
+    }
+
+    pub fn sites(&self) -> &[SiteState] {
+        &self.sites
+    }
+
+    pub fn site(&self, idx: SiteIdx) -> &SiteState {
+        &self.sites[idx]
+    }
+
+    /// Find a site by airport code (first match).
+    pub fn site_by_code(&self, code: &str) -> Option<SiteIdx> {
+        let code = code.to_ascii_uppercase();
+        self.sites.iter().position(|s| s.spec.code == code)
+    }
+
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    /// The site whose catchment contains `asn`, if the service is
+    /// reachable from there.
+    pub fn catchment_site(&self, asn: AsId) -> Option<SiteIdx> {
+        self.rib.origin_of(asn).map(|o| o.0 as usize)
+    }
+
+    /// Distribute a total offered load over sites according to the
+    /// current catchments and per-AS weights. `weights[asn]` is the share
+    /// of the total load sourced in that AS (need not be normalized;
+    /// ASes without a route contribute nothing — their queries die in
+    /// the network).
+    pub fn offered_per_site(&self, weights: &[f64], total_qps: f64) -> Vec<f64> {
+        let mut per_site = vec![0.0; self.sites.len()];
+        if total_qps <= 0.0 {
+            return per_site;
+        }
+        let wsum: f64 = weights.iter().sum();
+        if wsum <= 0.0 {
+            return per_site;
+        }
+        for (asn, route) in self.rib.iter() {
+            let w = weights[asn.0 as usize];
+            if w > 0.0 {
+                per_site[route.origin.0 as usize] += total_qps * w / wsum;
+            }
+        }
+        per_site
+    }
+
+    /// Phase 1 of a fluid step: account the offered load into facility
+    /// links (shared risk) before any queue advances.
+    pub fn stage_facility_load(&self, offered: &[f64], facilities: &mut FacilityTable) {
+        assert_eq!(offered.len(), self.sites.len());
+        for (site, &qps) in self.sites.iter().zip(offered) {
+            if let Some(fid) = site.spec.facility {
+                facilities.add_load(fid, qps);
+            }
+        }
+    }
+
+    /// Phase 2: advance each site's ingress queue to `now` under the
+    /// offered load, after facility losses thin the arriving stream.
+    pub fn advance_queues(&mut self, now: SimTime, offered: &[f64], facilities: &FacilityTable) {
+        assert_eq!(offered.len(), self.sites.len());
+        for (site, &qps) in self.sites.iter_mut().zip(offered) {
+            let facility_loss = site
+                .spec
+                .facility
+                .map(|f| facilities.loss(f))
+                .unwrap_or(0.0);
+            let arriving = qps * (1.0 - facility_loss);
+            site.facility_loss = facility_loss;
+            site.offered_qps = qps;
+            site.last_loss = site.queue.advance(now, arriving);
+        }
+    }
+
+    /// Phase 3: run stress policies; possibly withdraw or re-announce
+    /// sites. Returns the set of changes (empty = routing untouched).
+    /// When changes occur the RIB is recomputed immediately.
+    pub fn apply_policies(&mut self, now: SimTime, graph: &AsGraph) -> RoutingChanges {
+        let mut changes = RoutingChanges::default();
+        for (idx, site) in self.sites.iter_mut().enumerate() {
+            // Scheduled re-announcement first.
+            if let Some(at) = site.reannounce_at {
+                if site.announced {
+                    // Defensive: a site cannot be both announced and
+                    // awaiting re-announcement.
+                    site.reannounce_at = None;
+                } else if now >= at {
+                    site.announced = true;
+                    site.reannounce_at = None;
+                    site.queue.reset(now);
+                    site.tracker = Default::default();
+                    changes.reannounced.push(idx);
+                }
+            }
+            if !site.announced {
+                continue;
+            }
+            let StressPolicy::Withdraw {
+                overload_ratio,
+                sustain,
+                retry_after,
+                after_episodes,
+            } = site.spec.stress_policy
+            else {
+                // Absorb: update the tracker anyway (drives per-server
+                // failover behaviour) but never withdraw.
+                let ratio_for_lb = 1.0;
+                site.tracker
+                    .update(now, site.stress_signal(), ratio_for_lb, SimDuration::ZERO);
+                continue;
+            };
+            let tripped = site
+                .tracker
+                .update(now, site.stress_signal(), overload_ratio, sustain);
+            if tripped && site.tracker.episodes >= after_episodes {
+                site.announced = false;
+                site.reannounce_at = retry_after.map(|d| now + d);
+                site.queue.reset(now);
+                changes.withdrew.push(idx);
+            }
+        }
+        if !changes.is_empty() {
+            self.recompute_rib(graph);
+        }
+        changes
+    }
+
+    /// Force a site's announcement state (operator action); recomputes
+    /// routing if it changed.
+    pub fn set_announced(&mut self, idx: SiteIdx, announced: bool, graph: &AsGraph) -> bool {
+        if self.sites[idx].announced == announced {
+            return false;
+        }
+        self.sites[idx].announced = announced;
+        self.sites[idx].reannounce_at = None;
+        self.recompute_rib(graph);
+        true
+    }
+
+    fn recompute_rib(&mut self, graph: &AsGraph) {
+        let active: Vec<bool> = self.sites.iter().map(|s| s.announced).collect();
+        self.rib = compute_rib_scoped(graph, &self.origins, &active);
+    }
+
+    /// What a probe from `asn` (client hash `client_hash`) would see
+    /// right now, or `None` if the service is unreachable from there.
+    pub fn probe_view(&self, asn: AsId, client_hash: u64) -> Option<ProbeView> {
+        let route = self.rib.route(asn)?;
+        let site_idx = route.origin.0 as usize;
+        let site = &self.sites[site_idx];
+        let server = site.server_for(client_hash);
+        let rtt = (route.latency + self.access[asn.0 as usize]) * 2
+            + site.queue_delay()
+            + site.server_extra_delay(server)
+            + SERVER_PROCESSING;
+        Some(ProbeView {
+            site: site_idx,
+            server,
+            rtt,
+            drop_prob: site.probe_drop_probability(),
+        })
+    }
+
+    /// Aggregate served rate (qps) per site under the last-advanced load:
+    /// offered × (1 − facility loss) × (1 − queue loss). Feeds RSSAC
+    /// query counters.
+    pub fn served_per_site(&self) -> Vec<f64> {
+        self.sites
+            .iter()
+            .map(|s| s.offered_qps * (1.0 - s.facility_loss) * (1.0 - s.last_loss))
+            .collect()
+    }
+
+    /// Indices of currently announced sites.
+    pub fn announced_sites(&self) -> Vec<SiteIdx> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.announced)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::LoadBalancerMode;
+    use rootcast_netsim::SimRng;
+    use rootcast_topology::{gen, Tier, TopologyParams};
+
+    fn build() -> (AsGraph, AnycastService, Vec<AsId>) {
+        let g = gen::generate(&TopologyParams::tiny(), &SimRng::new(5));
+        let stubs = g.by_tier(Tier::Stub);
+        let specs = vec![
+            SiteSpec::global("AMS", stubs[0], 1000.0),
+            SiteSpec::global("IAD", stubs[1], 1000.0)
+                .with_policy(StressPolicy::withdraw_default()),
+        ];
+        let svc = AnycastService::new("test", Some(Letter::K), &g, specs);
+        (g, svc, stubs)
+    }
+
+    #[test]
+    fn initial_rib_covers_graph() {
+        let (g, svc, _) = build();
+        assert_eq!(svc.rib().reachable_count(), g.len());
+        assert_eq!(svc.announced_sites(), vec![0, 1]);
+    }
+
+    #[test]
+    fn offered_load_splits_by_catchment() {
+        let (g, svc, _) = build();
+        let weights = vec![1.0; g.len()];
+        let per_site = svc.offered_per_site(&weights, 1000.0);
+        let total: f64 = per_site.iter().sum();
+        assert!((total - 1000.0).abs() < 1e-6, "total={total}");
+        assert!(per_site.iter().all(|&q| q > 0.0), "{per_site:?}");
+    }
+
+    #[test]
+    fn withdraw_policy_fires_and_shifts_catchment() {
+        let (g, mut svc, _) = build();
+        let weights = vec![1.0; g.len()];
+        let facilities = FacilityTable::new();
+        // Overload site 1 (IAD, withdraw policy) way past 2x capacity.
+        let mut offered = svc.offered_per_site(&weights, 50_000.0);
+        // Make sure site 1 sees heavy load regardless of catchment split.
+        offered[1] = offered[1].max(10_000.0);
+        let mut t = SimTime::ZERO;
+        let step = SimDuration::from_mins(1);
+        let mut withdrew = false;
+        for _ in 0..10 {
+            t += step;
+            svc.advance_queues(t, &offered, &facilities);
+            let ch = svc.apply_policies(t, &g);
+            if ch.withdrew.contains(&1) {
+                withdrew = true;
+                break;
+            }
+        }
+        assert!(withdrew, "withdraw policy never fired");
+        assert_eq!(svc.announced_sites(), vec![0]);
+        // All catchments now at site 0.
+        assert_eq!(
+            svc.rib().catchment_sizes(2),
+            vec![g.len(), 0],
+        );
+        // Re-announce happens ~30 min later.
+        let again = SimTime::ZERO + SimDuration::from_mins(45);
+        svc.advance_queues(again, &vec![0.0; 2], &facilities);
+        let ch = svc.apply_policies(again, &g);
+        assert_eq!(ch.reannounced, vec![1]);
+        let _ = facilities;
+    }
+
+    #[test]
+    fn absorb_policy_never_withdraws() {
+        let (g, mut svc, _) = build();
+        let facilities = FacilityTable::new();
+        let offered = vec![100_000.0, 0.0];
+        let mut t = SimTime::ZERO;
+        for _ in 0..20 {
+            t += SimDuration::from_mins(1);
+            svc.advance_queues(t, &offered, &facilities);
+            let ch = svc.apply_policies(t, &g);
+            assert!(ch.withdrew.is_empty());
+        }
+        assert_eq!(svc.announced_sites(), vec![0, 1]);
+        // But the absorbing site is lossy and slow.
+        assert!(svc.site(0).last_loss > 0.9, "loss={}", svc.site(0).last_loss);
+        assert!(svc.site(0).queue_delay() > SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn probe_view_reflects_overload() {
+        let (g, mut svc, stubs) = build();
+        let facilities = FacilityTable::new();
+        // Find an AS in site 0's catchment.
+        let victim = *stubs
+            .iter()
+            .find(|&&s| svc.catchment_site(s) == Some(0))
+            .expect("someone in site 0");
+        let healthy = svc.probe_view(victim, 42).unwrap();
+        assert_eq!(healthy.site, 0);
+        assert_eq!(healthy.drop_prob, 0.0);
+        // Saturate site 0 for a while.
+        let offered = vec![50_000.0, 0.0];
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += SimDuration::from_mins(1);
+            svc.advance_queues(t, &offered, &facilities);
+        }
+        let stressed = svc.probe_view(victim, 42).unwrap();
+        assert!(stressed.rtt > healthy.rtt + SimDuration::from_millis(100));
+        assert!(stressed.drop_prob > 0.9);
+        let _ = g;
+    }
+
+    #[test]
+    fn set_announced_recomputes() {
+        let (g, mut svc, _) = build();
+        assert!(svc.set_announced(0, false, &g));
+        assert!(!svc.set_announced(0, false, &g), "no-op returns false");
+        assert_eq!(svc.rib().catchment_sizes(2)[0], 0);
+        assert!(svc.set_announced(0, true, &g));
+        assert!(svc.rib().catchment_sizes(2)[0] > 0);
+    }
+
+    #[test]
+    fn served_rate_accounts_losses() {
+        let (g, mut svc, _) = build();
+        let facilities = FacilityTable::new();
+        let offered = vec![2_000.0, 100.0];
+        svc.advance_queues(SimTime::from_mins(30), &offered, &facilities);
+        let served = svc.served_per_site();
+        // Site 0 at 2x capacity serves ~1000 once its buffer fills;
+        // site 1 serves everything.
+        assert!(served[0] < 1900.0, "served={served:?}");
+        assert!((served[1] - 100.0).abs() < 1e-9);
+        let _ = g;
+    }
+
+    #[test]
+    fn failover_mode_concentrates_probe_servers() {
+        let g = gen::generate(&TopologyParams::tiny(), &SimRng::new(6));
+        let stubs = g.by_tier(Tier::Stub);
+        let spec = SiteSpec::global("FRA", stubs[0], 1000.0)
+            .with_lb_mode(LoadBalancerMode::FailoverConcentrate);
+        let mut svc = AnycastService::new("k", Some(Letter::K), &g, vec![spec]);
+        let facilities = FacilityTable::new();
+        // Healthy: different client hashes see different servers.
+        let servers: std::collections::BTreeSet<u16> = (0..64)
+            .map(|h| svc.probe_view(stubs[1], h).unwrap().server)
+            .collect();
+        assert!(servers.len() > 1, "expected server diversity, got {servers:?}");
+        // Overloaded: exactly one server answers everyone.
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += SimDuration::from_mins(1);
+            svc.advance_queues(t, &[5_000.0], &facilities);
+            svc.apply_policies(t, &g);
+        }
+        let servers: std::collections::BTreeSet<u16> = (0..64)
+            .map(|h| svc.probe_view(stubs[1], h).unwrap().server)
+            .collect();
+        assert_eq!(servers.len(), 1, "survivor only, got {servers:?}");
+    }
+}

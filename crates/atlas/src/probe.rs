@@ -1,0 +1,250 @@
+//! Probe execution: one CHAOS query from one VP toward one letter.
+//!
+//! The measurement layer is decoupled from the anycast layer through the
+//! [`ChaosTarget`] trait: the orchestration crate adapts each
+//! `AnycastService` to it. A probe samples the current network state
+//! (catchment, queue delay, drop probability) and produces a
+//! [`RawMeasurement`] — including the *textual* CHAOS identity exactly as
+//! the wire would carry it, so the cleaning stage has to parse it back,
+//! the way the paper's pipeline parses real TXT records.
+
+use crate::vp::VantagePoint;
+use rand::Rng;
+use rootcast_dns::{Letter, ServerIdentity};
+use rootcast_netsim::{SimDuration, SimTime};
+use rootcast_topology::AsId;
+use serde::{Deserialize, Serialize};
+
+/// The Atlas query timeout: replies slower than this count as lost.
+pub const ATLAS_TIMEOUT: SimDuration = SimDuration::from_secs(5);
+
+/// What a probe toward a service would experience from a given AS.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetView {
+    /// Airport code of the catchment site.
+    pub site_code: String,
+    /// 1-based answering server ordinal.
+    pub server: u16,
+    /// Round-trip time if answered.
+    pub rtt: SimDuration,
+    /// Probability the query or reply is dropped.
+    pub drop_prob: f64,
+}
+
+/// A probe-able anycast service (implemented for `AnycastService` by the
+/// orchestration layer).
+pub trait ChaosTarget {
+    /// The letter this target serves.
+    fn letter(&self) -> Letter;
+    /// Current view from `asn` for a client with `client_hash`, or
+    /// `None` when the service is unreachable from there.
+    fn view(&self, asn: AsId, client_hash: u64) -> Option<TargetView>;
+}
+
+/// Raw (pre-cleaning) outcome of one probe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RawOutcome {
+    /// A TXT reply arrived: the identity string and the measured RTT.
+    Reply { txt: String, rtt: SimDuration },
+    /// A DNS error response (RCODE != 0) arrived.
+    Error,
+    /// Nothing within [`ATLAS_TIMEOUT`].
+    Timeout,
+}
+
+/// One raw measurement record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawMeasurement {
+    pub vp: u32,
+    pub letter: Letter,
+    pub at: SimTime,
+    pub outcome: RawOutcome,
+}
+
+/// Execute one probe. `rng` supplies the loss draw and measurement
+/// noise; everything else is deterministic in the current target state.
+pub fn execute_probe<T: ChaosTarget, R: Rng>(
+    vp: &VantagePoint,
+    target: &T,
+    at: SimTime,
+    rng: &mut R,
+) -> RawMeasurement {
+    let letter = target.letter();
+    // Hijacked VPs never reach the real service: a local middlebox
+    // answers with its own identity, fast (the <7 ms signature the
+    // cleaning stage looks for).
+    if vp.hijacked {
+        return RawMeasurement {
+            vp: vp.id.0,
+            letter,
+            at,
+            outcome: RawOutcome::Reply {
+                txt: format!("cache{}.local", vp.id.0 % 7),
+                rtt: SimDuration::from_micros(rng.gen_range(600..4000)),
+            },
+        };
+    }
+    // Flaky VPs occasionally fail on their own (independent VP failure,
+    // §2.4.1 "VPs fail independently").
+    if vp.flaky && rng.gen_bool(0.02) {
+        return RawMeasurement {
+            vp: vp.id.0,
+            letter,
+            at,
+            outcome: RawOutcome::Timeout,
+        };
+    }
+    let Some(view) = target.view(vp.asn, vp.client_hash()) else {
+        return RawMeasurement {
+            vp: vp.id.0,
+            letter,
+            at,
+            outcome: RawOutcome::Timeout,
+        };
+    };
+    // Loss: the query or its reply dies in a saturated queue.
+    if view.drop_prob > 0.0 && rng.gen_bool(view.drop_prob.clamp(0.0, 1.0)) {
+        return RawMeasurement {
+            vp: vp.id.0,
+            letter,
+            at,
+            outcome: RawOutcome::Timeout,
+        };
+    }
+    // Measurement noise: ±5% jitter on the RTT.
+    let jitter = 1.0 + (rng.gen_range(-50..=50) as f64) / 1000.0;
+    let rtt = SimDuration::from_secs_f64(view.rtt.as_secs_f64() * jitter);
+    if rtt >= ATLAS_TIMEOUT {
+        return RawMeasurement {
+            vp: vp.id.0,
+            letter,
+            at,
+            outcome: RawOutcome::Timeout,
+        };
+    }
+    let identity = ServerIdentity::new(letter, &view.site_code, view.server);
+    RawMeasurement {
+        vp: vp.id.0,
+        letter,
+        at,
+        outcome: RawOutcome::Reply {
+            txt: identity.format_txt(),
+            rtt,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vp::VpId;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    struct FakeTarget {
+        letter: Letter,
+        view: Option<TargetView>,
+    }
+
+    impl ChaosTarget for FakeTarget {
+        fn letter(&self) -> Letter {
+            self.letter
+        }
+        fn view(&self, _asn: AsId, _h: u64) -> Option<TargetView> {
+            self.view.clone()
+        }
+    }
+
+    fn vp(hijacked: bool) -> VantagePoint {
+        VantagePoint {
+            id: VpId(3),
+            asn: AsId(0),
+            firmware: 4700,
+            hijacked,
+            flaky: false,
+        }
+    }
+
+    fn target(drop_prob: f64, rtt_ms: u64) -> FakeTarget {
+        FakeTarget {
+            letter: Letter::K,
+            view: Some(TargetView {
+                site_code: "AMS".into(),
+                server: 2,
+                rtt: SimDuration::from_millis(rtt_ms),
+                drop_prob,
+            }),
+        }
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn healthy_probe_returns_parseable_identity() {
+        let m = execute_probe(&vp(false), &target(0.0, 30), SimTime::ZERO, &mut rng());
+        match m.outcome {
+            RawOutcome::Reply { ref txt, rtt } => {
+                let id = ServerIdentity::parse_txt(Letter::K, txt).expect("parses");
+                assert_eq!(id.site, "AMS");
+                assert_eq!(id.server, 2);
+                let ms = rtt.as_millis_f64();
+                assert!((28.0..32.0).contains(&ms), "rtt {ms}");
+            }
+            ref other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_target_times_out() {
+        let t = FakeTarget {
+            letter: Letter::K,
+            view: None,
+        };
+        let m = execute_probe(&vp(false), &t, SimTime::ZERO, &mut rng());
+        assert_eq!(m.outcome, RawOutcome::Timeout);
+    }
+
+    #[test]
+    fn certain_loss_times_out() {
+        let m = execute_probe(&vp(false), &target(1.0, 30), SimTime::ZERO, &mut rng());
+        assert_eq!(m.outcome, RawOutcome::Timeout);
+    }
+
+    #[test]
+    fn loss_probability_respected_statistically() {
+        let t = target(0.5, 30);
+        let v = vp(false);
+        let mut r = rng();
+        let n = 4000;
+        let timeouts = (0..n)
+            .filter(|_| {
+                matches!(
+                    execute_probe(&v, &t, SimTime::ZERO, &mut r).outcome,
+                    RawOutcome::Timeout
+                )
+            })
+            .count();
+        let frac = timeouts as f64 / n as f64;
+        assert!((0.45..0.55).contains(&frac), "timeout fraction {frac}");
+    }
+
+    #[test]
+    fn rtt_beyond_timeout_is_a_timeout() {
+        let m = execute_probe(&vp(false), &target(0.0, 6000), SimTime::ZERO, &mut rng());
+        assert_eq!(m.outcome, RawOutcome::Timeout);
+    }
+
+    #[test]
+    fn hijacked_vp_gets_fast_bogus_reply() {
+        let m = execute_probe(&vp(true), &target(0.0, 30), SimTime::ZERO, &mut rng());
+        match m.outcome {
+            RawOutcome::Reply { ref txt, rtt } => {
+                assert!(ServerIdentity::parse_txt(Letter::K, txt).is_none());
+                assert!(rtt < SimDuration::from_millis(7));
+            }
+            ref other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+}

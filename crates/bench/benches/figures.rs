@@ -1,0 +1,133 @@
+//! One benchmark per table and figure of the paper.
+//!
+//! Each bench regenerates its table/figure from the cached scenario and
+//! prints it once, so `cargo bench --bench figures` both times the
+//! analysis pipeline and reproduces the paper's outputs:
+//!
+//! | bench id | reproduces |
+//! |---|---|
+//! | `table2_site_census` | Table 2 |
+//! | `table3_event_size`  | Table 3 |
+//! | `fig2_policy_model`  | Figure 2 / §2.2 cases |
+//! | `fig3_letter_reachability` | Figure 3 + R² |
+//! | `fig4_letter_rtt`    | Figure 4 |
+//! | `fig5_site_minmax`   | Figure 5 (E & K) |
+//! | `fig6_site_series`   | Figure 6 (E & K) |
+//! | `fig7_site_rtt`      | Figure 7 |
+//! | `fig8_site_flips`    | Figure 8 |
+//! | `fig9_route_changes` | Figure 9 |
+//! | `fig10_flip_flows`   | Figure 10 (K-LHR, K-FRA) |
+//! | `fig11_vp_raster`    | Figure 11 + cohorts |
+//! | `fig12_13_servers`   | Figures 12 & 13 |
+//! | `fig14_collateral_droot` | Figure 14 |
+//! | `fig15_collateral_nl`    | Figure 15 |
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rootcast::analysis::{
+    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers,
+    site_reach, site_rtt,
+};
+use rootcast::{policy_model, Letter};
+use rootcast_bench::bench_scenario;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let out = bench_scenario();
+
+    c.bench_function("table2_site_census", |b| {
+        b.iter(|| black_box(site_reach::table2(out)))
+    });
+    println!("{}", site_reach::table2(out).render());
+
+    c.bench_function("table3_event_size", |b| {
+        b.iter(|| black_box(event_size::table3(out)))
+    });
+    println!("{}", event_size::table3(out).render());
+
+    c.bench_function("fig2_policy_model", |b| {
+        b.iter(|| black_box(policy_model::paper_cases()))
+    });
+    println!("{}", policy_model::render_cases(&policy_model::paper_cases()));
+
+    c.bench_function("fig3_letter_reachability", |b| {
+        b.iter(|| black_box(reachability::figure3(out)))
+    });
+    println!("{}", reachability::figure3(out).render());
+
+    c.bench_function("fig4_letter_rtt", |b| {
+        b.iter(|| black_box(letter_rtt::figure4(out)))
+    });
+    println!("{}", letter_rtt::figure4(out).render());
+
+    c.bench_function("fig5_site_minmax", |b| {
+        b.iter(|| {
+            black_box(site_reach::figure5(out, Letter::E));
+            black_box(site_reach::figure5(out, Letter::K));
+        })
+    });
+    println!("{}", site_reach::figure5(out, Letter::K).render());
+
+    c.bench_function("fig6_site_series", |b| {
+        b.iter(|| {
+            black_box(site_reach::figure6(out, Letter::E));
+            black_box(site_reach::figure6(out, Letter::K));
+        })
+    });
+    println!("{}", site_reach::figure6(out, Letter::K).render());
+
+    c.bench_function("fig7_site_rtt", |b| {
+        b.iter(|| black_box(site_rtt::figure7(out)))
+    });
+    println!("{}", site_rtt::figure7(out).render());
+
+    c.bench_function("fig8_site_flips", |b| {
+        b.iter(|| black_box(flips::figure8(out)))
+    });
+    println!("{}", flips::figure8(out).render());
+
+    c.bench_function("fig9_route_changes", |b| {
+        b.iter(|| black_box(routing::figure9(out)))
+    });
+    println!("{}", routing::figure9(out).render());
+
+    c.bench_function("fig10_flip_flows", |b| {
+        b.iter(|| {
+            black_box(flips::figure10(out, Letter::K, "LHR"));
+            black_box(flips::figure10(out, Letter::K, "FRA"));
+        })
+    });
+    println!("{}", flips::figure10(out, Letter::K, "LHR").render());
+
+    c.bench_function("fig11_vp_raster", |b| {
+        b.iter(|| {
+            let f = raster::figure11(out, Letter::K, &["LHR", "FRA"], 300);
+            black_box(f.cohort_counts())
+        })
+    });
+    println!(
+        "{}",
+        raster::figure11(out, Letter::K, &["LHR", "FRA"], 300).render_cohorts()
+    );
+
+    c.bench_function("fig12_13_servers", |b| {
+        b.iter(|| black_box(servers::figures12_13(out)))
+    });
+    println!("{}", servers::figures12_13(out).render());
+
+    c.bench_function("fig14_collateral_droot", |b| {
+        b.iter(|| black_box(collateral::figure14(out, Letter::D)))
+    });
+    println!("{}", collateral::figure14(out, Letter::D).render());
+
+    c.bench_function("fig15_collateral_nl", |b| {
+        b.iter(|| black_box(collateral::figure15(out)))
+    });
+    println!("{}", collateral::figure15(out).render());
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figures
+}
+criterion_main!(figures);

@@ -1,0 +1,183 @@
+//! Micro-benchmarks of the simulation kernels: the hot paths a
+//! full-scale run spends its time in. Useful when optimizing, and as a
+//! regression tripwire for the 30-second full reproduction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::SeedableRng;
+use rootcast_atlas::{clean_outcome, CleanObs, MeasurementPipeline, PipelineConfig, VpId};
+use rootcast_atlas::{RawMeasurement, RawOutcome};
+use rootcast_bgp::{compute_rib_scoped, Origin, Scope};
+use rootcast_dns::{Letter, Message, Name, RootZone, RrClass, RrType, ServerIdentity};
+use rootcast_netsim::stats::CardinalitySketch;
+use rootcast_netsim::{FluidQueue, SimDuration, SimRng, SimTime};
+use rootcast_topology::{gen, Tier, TopologyParams};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    c.bench_function("topology_generate_default", |b| {
+        b.iter(|| black_box(gen::generate(&TopologyParams::default(), &SimRng::new(1))))
+    });
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let graph = gen::generate(&TopologyParams::default(), &SimRng::new(1));
+    let stubs = graph.by_tier(Tier::Stub);
+    // A 30-origin anycast prefix (K-root scale).
+    let origins: Vec<Origin> = stubs
+        .iter()
+        .step_by(stubs.len() / 30)
+        .take(30)
+        .map(|&host| Origin {
+            host,
+            scope: Scope::Global,
+            prepend: 0,
+        })
+        .collect();
+    let active = vec![true; origins.len()];
+    c.bench_function("bgp_rib_30_sites_1600_ases", |b| {
+        b.iter(|| black_box(compute_rib_scoped(&graph, &origins, &active)))
+    });
+    // The withdrawal-reconvergence path: one site toggles.
+    let mut toggled = active.clone();
+    toggled[0] = false;
+    c.bench_function("bgp_reconverge_after_withdrawal", |b| {
+        b.iter(|| black_box(compute_rib_scoped(&graph, &origins, &toggled)))
+    });
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let zone = RootZone::nov2015();
+    let q = Message::query(
+        1,
+        Name::parse("www.336901.com").unwrap(),
+        RrType::A,
+        RrClass::In,
+    );
+    c.bench_function("dns_encode_query", |b| b.iter(|| black_box(q.encode())));
+    let referral = zone.answer(&q);
+    c.bench_function("dns_encode_referral", |b| {
+        b.iter(|| black_box(referral.encode()))
+    });
+    let wire = referral.encode();
+    c.bench_function("dns_decode_referral", |b| {
+        b.iter(|| black_box(Message::decode(&wire).unwrap()))
+    });
+    let id = ServerIdentity::new(Letter::K, "AMS", 2);
+    let txt = id.format_txt();
+    c.bench_function("chaos_parse_identity", |b| {
+        b.iter(|| black_box(ServerIdentity::parse_txt(Letter::K, &txt)))
+    });
+    c.bench_function("rootzone_answer_referral", |b| {
+        b.iter(|| black_box(zone.answer(&q)))
+    });
+}
+
+fn bench_rrl(c: &mut Criterion) {
+    use rootcast_dns::{RateLimiter, RrlConfig};
+    c.bench_function("rrl_check_mixed_sources", |b| {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        use rand::Rng;
+        b.iter_batched(
+            || RateLimiter::new(RrlConfig::default()),
+            |mut rrl| {
+                for i in 0..1000u32 {
+                    let src = if rng.gen_bool(0.68) {
+                        [100, 64, 0, (i % 200) as u8]
+                    } else {
+                        let b = rng.gen::<u32>().to_be_bytes();
+                        [b[0].max(1), b[1], b[2], b[3]]
+                    };
+                    black_box(rrl.check(src, SimTime::from_nanos(u64::from(i) * 1000)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fluid(c: &mut Criterion) {
+    c.bench_function("fluid_queue_advance_1000_steps", |b| {
+        b.iter_batched(
+            || FluidQueue::new(100_000.0, 150_000.0),
+            |mut q| {
+                let mut t = SimTime::ZERO;
+                for i in 0..1000u64 {
+                    t += SimDuration::from_secs(60);
+                    let offered = if i % 10 < 3 { 250_000.0 } else { 50_000.0 };
+                    black_box(q.advance(t, offered));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cfg = PipelineConfig {
+        bin: SimDuration::from_mins(10),
+        horizon: SimTime::from_hours(2),
+        rtt_subsample: 8,
+        watched_sites: vec![(Letter::K, "FRA".into())],
+        raster_letters: vec![Letter::K],
+        probe_interval: SimDuration::from_mins(4),
+    };
+    c.bench_function("pipeline_record_10k_observations", |b| {
+        b.iter_batched(
+            || {
+                let mut p = MeasurementPipeline::new(cfg.clone(), 500);
+                p.register_letter(Letter::K, vec!["AMS".into(), "FRA".into(), "LHR".into()]);
+                p
+            },
+            |mut p| {
+                let id = ServerIdentity::new(Letter::K, "FRA", 2);
+                for i in 0..10_000u64 {
+                    let t = SimTime::from_secs(i % 7000);
+                    let obs = if i % 7 == 0 {
+                        CleanObs::Timeout
+                    } else {
+                        CleanObs::Site(id.clone(), SimDuration::from_millis(30))
+                    };
+                    p.record(VpId((i % 500) as u32), Letter::K, t, &obs);
+                }
+                p.finalize();
+                black_box(p)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The cleaning classifier on raw outcomes.
+    let m = RawMeasurement {
+        vp: 1,
+        letter: Letter::K,
+        at: SimTime::ZERO,
+        outcome: RawOutcome::Reply {
+            txt: ServerIdentity::new(Letter::K, "AMS", 1).format_txt(),
+            rtt: SimDuration::from_millis(30),
+        },
+    };
+    c.bench_function("clean_outcome_reply", |b| {
+        b.iter(|| black_box(clean_outcome(&m)))
+    });
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    c.bench_function("hll_insert_100k", |b| {
+        b.iter_batched(
+            CardinalitySketch::new,
+            |mut s| {
+                for i in 0..100_000u64 {
+                    s.insert(i);
+                }
+                black_box(s.estimate())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_topology, bench_bgp, bench_dns, bench_rrl, bench_fluid, bench_pipeline, bench_sketch
+}
+criterion_main!(kernels);

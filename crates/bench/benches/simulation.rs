@@ -1,0 +1,48 @@
+//! End-to-end simulation throughput: how long a scenario takes as the
+//! fleet and horizon grow. This is the number that gates "reproduce the
+//! whole paper in under a minute".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rootcast::{sim, ScenarioConfig, SimTime};
+use rootcast_atlas::FleetParams;
+use rootcast_attack::{AttackSchedule, AttackWindow};
+use rootcast_netsim::SimDuration;
+use std::hint::black_box;
+
+fn cfg_with(n_vps: usize, hours: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small();
+    cfg.fleet = FleetParams::tiny(n_vps);
+    cfg.horizon = SimTime::from_hours(hours);
+    cfg.pipeline.horizon = cfg.horizon;
+    cfg.attack = AttackSchedule::new(vec![AttackWindow {
+        start: SimTime::from_mins(30),
+        duration: SimDuration::from_mins(30),
+        qname: "www.336901.com".into(),
+        targets: AttackSchedule::nov2015_targets(),
+        rate_qps: 2_000_000.0,
+    }]);
+    cfg
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario_run");
+    g.sample_size(10);
+    for &n_vps in &[100usize, 400, 1000] {
+        g.bench_with_input(
+            BenchmarkId::new("vps", n_vps),
+            &n_vps,
+            |b, &n| b.iter(|| black_box(sim::run(&cfg_with(n, 2)))),
+        );
+    }
+    for &hours in &[1u64, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("hours", hours),
+            &hours,
+            |b, &h| b.iter(|| black_box(sim::run(&cfg_with(400, h)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(simulation, bench_simulation);
+criterion_main!(simulation);

@@ -1,0 +1,46 @@
+//! Shared fixtures for the rootcast benchmark harness.
+//!
+//! Every figure/table bench needs a finished simulation; building one
+//! per benchmark would dwarf the measured work, so this crate caches one
+//! scenario per scale behind `OnceLock`s. The bench targets then measure
+//! the *analysis* cost of regenerating each table/figure (and print each
+//! one once, so `cargo bench` output doubles as a mini-reproduction).
+
+use rootcast::{sim, ScenarioConfig, SimDuration, SimOutput, SimTime};
+use rootcast_attack::{AttackSchedule, AttackWindow};
+use std::sync::OnceLock;
+
+/// A small scenario with one event — fast enough that `cargo bench`
+/// startup stays pleasant, rich enough that every figure is non-trivial.
+pub fn bench_scenario() -> &'static SimOutput {
+    static OUT: OnceLock<SimOutput> = OnceLock::new();
+    OUT.get_or_init(|| {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_hours(4);
+        cfg.pipeline.horizon = cfg.horizon;
+        cfg.attack = AttackSchedule::new(vec![AttackWindow {
+            start: SimTime::from_mins(90),
+            duration: SimDuration::from_mins(40),
+            qname: "www.336901.com".into(),
+            targets: AttackSchedule::nov2015_targets(),
+            rate_qps: 3_000_000.0,
+        }]);
+        sim::run(&cfg)
+    })
+}
+
+/// A scenario config with the given attack rate (for sweeps).
+pub fn swept_config(rate_qps: f64, seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small();
+    cfg.seed = seed;
+    cfg.horizon = SimTime::from_hours(2);
+    cfg.pipeline.horizon = cfg.horizon;
+    cfg.attack = AttackSchedule::new(vec![AttackWindow {
+        start: SimTime::from_mins(40),
+        duration: SimDuration::from_mins(40),
+        qname: "www.336901.com".into(),
+        targets: AttackSchedule::nov2015_targets(),
+        rate_qps,
+    }]);
+    cfg
+}

@@ -1,0 +1,175 @@
+//! Route collectors, modeled after BGPmon (§2.4.3).
+//!
+//! BGPmon peers with dozens of routers around the Internet and records
+//! their BGP update streams. The paper counts route changes per root
+//! letter in 10-minute bins (Figure 9) to corroborate that the site flips
+//! seen from RIPE Atlas are route-driven.
+//!
+//! Our collector holds a fixed set of peer ASes. Every time the routing
+//! table for a prefix is recomputed (a site announced or withdrew), the
+//! collector diffs each peer's chosen route against the previous table
+//! and counts one update per changed peer — plus a small path-exploration
+//! surcharge, since a real convergence emits several transient updates
+//! per final change.
+
+use crate::engine::Rib;
+use rootcast_netsim::{BinnedSeries, SimDuration, SimTime};
+use rootcast_topology::AsId;
+
+/// One logged batch of updates at a collector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateBatch {
+    pub at: SimTime,
+    /// Number of peers whose best route changed.
+    pub changed_peers: usize,
+    /// Total update messages observed (includes path exploration).
+    pub messages: usize,
+}
+
+/// A BGPmon-style collector for one prefix.
+#[derive(Debug, Clone)]
+pub struct RouteCollector {
+    peers: Vec<AsId>,
+    /// Last observed route signature per peer (None = unreachable).
+    last: Vec<Option<(u32, u16, u32)>>,
+    /// Extra transient updates per real change, modeling path exploration.
+    exploration_factor: usize,
+    log: Vec<UpdateBatch>,
+}
+
+impl RouteCollector {
+    /// Create a collector peering with the given ASes.
+    pub fn new(peers: Vec<AsId>) -> Self {
+        let n = peers.len();
+        RouteCollector {
+            peers,
+            last: vec![None; n],
+            exploration_factor: 2,
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of peers (the paper's deployment had 152).
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Record the initial table without logging churn (session bring-up
+    /// is not an event).
+    pub fn prime(&mut self, rib: &Rib) {
+        for (i, &peer) in self.peers.iter().enumerate() {
+            self.last[i] = rib.route(peer).map(|r| r.signature());
+        }
+    }
+
+    /// Observe a recomputed table at time `t`, logging any changes.
+    /// Returns the number of peers whose route changed.
+    pub fn observe(&mut self, t: SimTime, rib: &Rib) -> usize {
+        let mut changed = 0;
+        for (i, &peer) in self.peers.iter().enumerate() {
+            let now = rib.route(peer).map(|r| r.signature());
+            if now != self.last[i] {
+                changed += 1;
+                self.last[i] = now;
+            }
+        }
+        if changed > 0 {
+            self.log.push(UpdateBatch {
+                at: t,
+                changed_peers: changed,
+                messages: changed * (1 + self.exploration_factor),
+            });
+        }
+        changed
+    }
+
+    /// The raw update log.
+    pub fn log(&self) -> &[UpdateBatch] {
+        &self.log
+    }
+
+    /// Total messages across the whole log.
+    pub fn total_messages(&self) -> usize {
+        self.log.iter().map(|b| b.messages).sum()
+    }
+
+    /// Bin the update messages into a time series (Figure 9's y-axis).
+    pub fn binned_messages(&self, bin: SimDuration, n_bins: usize) -> BinnedSeries {
+        let mut s = BinnedSeries::zeros(bin, n_bins);
+        for b in &self.log {
+            s.add_at(b.at, b.messages as f64);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::compute_rib_scoped;
+    use crate::route::{Origin, Scope};
+    use rootcast_topology::{gen, TopologyParams};
+
+    fn build() -> (rootcast_topology::AsGraph, Vec<AsId>) {
+        let rng = rootcast_netsim::SimRng::new(11);
+        let g = gen::generate(&TopologyParams::tiny(), &rng);
+        let stubs = g.by_tier(rootcast_topology::Tier::Stub);
+        (g, stubs)
+    }
+
+    fn origin(host: AsId) -> Origin {
+        Origin {
+            host,
+            scope: Scope::Global,
+            prepend: 0,
+        }
+    }
+
+    #[test]
+    fn no_change_no_log() {
+        let (g, stubs) = build();
+        let origins = [origin(stubs[0]), origin(stubs[1])];
+        let rib = compute_rib_scoped(&g, &origins, &[true, true]);
+        let mut c = RouteCollector::new(stubs[2..10].to_vec());
+        c.prime(&rib);
+        assert_eq!(c.observe(SimTime::from_mins(5), &rib), 0);
+        assert!(c.log().is_empty());
+    }
+
+    #[test]
+    fn withdrawal_produces_updates() {
+        let (g, stubs) = build();
+        let origins = [origin(stubs[0]), origin(stubs[1])];
+        let before = compute_rib_scoped(&g, &origins, &[true, true]);
+        let after = compute_rib_scoped(&g, &origins, &[false, true]);
+        let mut c = RouteCollector::new(stubs[2..12].to_vec());
+        c.prime(&before);
+        let changed = c.observe(SimTime::from_mins(10), &after);
+        // At least the peers previously in site 0's catchment change.
+        let moved = c
+            .peers
+            .iter()
+            .filter(|&&p| before.origin_of(p) != after.origin_of(p))
+            .count();
+        assert_eq!(changed, moved);
+        if changed > 0 {
+            assert_eq!(c.log().len(), 1);
+            assert_eq!(c.log()[0].messages, changed * 3);
+        }
+    }
+
+    #[test]
+    fn binned_series_places_updates_in_time() {
+        let (g, stubs) = build();
+        let origins = [origin(stubs[0]), origin(stubs[1])];
+        let before = compute_rib_scoped(&g, &origins, &[true, true]);
+        let after = compute_rib_scoped(&g, &origins, &[false, true]);
+        let mut c = RouteCollector::new(stubs[2..20].to_vec());
+        c.prime(&before);
+        c.observe(SimTime::from_mins(25), &after);
+        let s = c.binned_messages(SimDuration::from_mins(10), 6);
+        // All messages land in bin 2 (minutes 20-30).
+        let total: f64 = s.values().iter().sum();
+        assert_eq!(s.values()[2], total);
+    }
+}

@@ -1,0 +1,33 @@
+//! # rootcast
+//!
+//! Reproduction toolkit for *"Anycast vs. DDoS: Evaluating the November
+//! 2015 Root DNS Event"* (IMC 2016).
+//!
+//! The crate wires the rootcast substrate stack — topology, BGP anycast
+//! routing, DNS, attack workloads, the Atlas-like measurement platform,
+//! and RSSAC reporting — into the canonical Nov 30 / Dec 1 2015 scenario,
+//! and provides one analysis module per table/figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use rootcast::{ScenarioConfig, sim};
+//!
+//! let cfg = ScenarioConfig::small();
+//! let out = sim::run(&cfg);
+//! let k = out.pipeline.letter(rootcast::Letter::K);
+//! println!("K-root successful VPs per bin: {:?}", k.success.values());
+//! ```
+
+pub mod analysis;
+pub mod deployment;
+pub mod policy_model;
+pub mod render;
+pub mod sim;
+
+pub use deployment::{nl_deployment, nov2015_deployments, LetterDeployment};
+pub use sim::{run, ScenarioConfig, SimOutput};
+
+// Re-export the vocabulary types users need to consume the outputs.
+pub use rootcast_dns::Letter;
+pub use rootcast_netsim::{BinnedSeries, Reduce, SimDuration, SimTime};

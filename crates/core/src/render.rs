@@ -1,0 +1,174 @@
+//! Small text/CSV rendering helpers shared by the analysis modules.
+//!
+//! Every analysis result renders as a plain-text table (what the example
+//! binaries print) and as CSV (what you'd feed a plotting tool to redraw
+//! the paper's figures).
+
+use std::fmt;
+
+/// A rectangular table of strings with a header row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextTable {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(title: &str, headers: &[&str]) -> TextTable {
+        TextTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; its length must match the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render as CSV (RFC 4180 quoting for cells containing commas or
+    /// quotes).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths from headers and cells.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "=== {} ===", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:<width$}", h, width = widths[i] + 2)?;
+        }
+        writeln!(f)?;
+        for (i, _) in self.headers.iter().enumerate() {
+            write!(f, "{:-<width$}  ", "", width = widths[i])?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(f, "{:<width$}", cell, width = widths[i] + 2)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with limited precision, rendering NaN as "-".
+pub fn num(v: f64, decimals: usize) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.decimals$}")
+    }
+}
+
+/// Render an ASCII sparkline of a series (8 levels), for quick visual
+/// inspection of time series in terminal output.
+pub fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = (((v - min) / span) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new("demo", &["letter", "worst"]);
+        t.row(vec!["K".into(), "5344".into()]);
+        t.row(vec!["B".into(), "1290".into()]);
+        let s = t.to_string();
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("letter"));
+        assert!(s.contains("5344"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = TextTable::new("demo", &["name", "note"]);
+        t.row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn num_handles_nan() {
+        assert_eq!(num(f64::NAN, 2), "-");
+        assert_eq!(num(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        let with_nan = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(with_nan.chars().nth(1), Some(' '));
+    }
+}

@@ -1,0 +1,33 @@
+//! # rootcast-dns
+//!
+//! DNS machinery for the rootcast reproduction of *"Anycast vs. DDoS"*
+//! (IMC 2016): a real wire-format codec, the 13 root letters with their
+//! CHAOS identification conventions, Response Rate Limiting, and a
+//! minimal authoritative root zone.
+//!
+//! * [`name`] — RFC 1035 domain names with compression-pointer decoding;
+//! * [`wire`] — message encode/decode (IN + CHAOS classes; A/AAAA/NS/
+//!   SOA/TXT/OPT), used so probe traffic is real packets and attack
+//!   traffic has exact byte sizes for Table 3;
+//! * [`chaos`] — [`Letter`] (A–M) and [`ServerIdentity`]: per-operator
+//!   `hostname.bind` formats and the parser that maps TXT replies back to
+//!   (letter, site, server) — the instrument behind every catchment
+//!   figure in the paper;
+//! * [`rrl`] — token-bucket Response Rate Limiting plus the analytic
+//!   steady-state form used by the fluid traffic model;
+//! * [`rootzone`] — priming responses, `.com`-shaped referrals (the
+//!   ~490-byte responses of Table 3), NXDOMAIN, and CHAOS answers.
+
+pub mod chaos;
+pub mod name;
+pub mod rootzone;
+pub mod rrl;
+pub mod wire;
+
+pub use chaos::{Letter, ServerIdentity};
+pub use name::{Name, NameError};
+pub use rootzone::{parse_chaos_response, RootZone};
+pub use rrl::{RateLimiter, RrlAction, RrlConfig};
+pub use wire::{
+    packet_bytes, Flags, Message, Question, Rcode, Rdata, Record, RrClass, RrType, WireError,
+};

@@ -1,0 +1,73 @@
+//! Quickstart: run a scaled-down November 2015 scenario and print the
+//! headline results.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This uses [`ScenarioConfig::small`] (a few hundred vantage points, a
+//! 12-hour horizon covering the first event) so it finishes in seconds.
+//! For the full-scale reproduction of every table and figure see the
+//! `root_event_nov2015` example.
+
+use rootcast::analysis::{flips, letter_rtt, reachability, site_rtt};
+use rootcast::{sim, Letter, ScenarioConfig};
+
+fn main() {
+    let cfg = ScenarioConfig::small();
+    println!(
+        "simulating 13 letters / {} VPs / horizon {} ...",
+        cfg.fleet.n_vps, cfg.horizon
+    );
+    let t0 = std::time::Instant::now();
+    let out = sim::run(&cfg);
+    println!(
+        "done in {:.1?}: {} ASes, {} VPs kept after cleaning\n",
+        t0.elapsed(),
+        out.n_ases,
+        out.n_vps_kept
+    );
+
+    // Figure 3: who survived?
+    let fig3 = reachability::figure3(&out);
+    println!("{}", fig3.render());
+    if let Some(reg) = &fig3.sites_vs_worst_attacked {
+        println!(
+            "site-count vs worst-reachability (attacked letters): R^2 = {:.2} (paper: 0.87)\n",
+            reg.r_squared
+        );
+    }
+
+    // Figure 4: whose RTT moved?
+    let fig4 = letter_rtt::figure4(&out);
+    let plotted: Vec<String> = fig4
+        .significant()
+        .iter()
+        .map(|r| format!("{} ({:.0} -> {:.0} ms)", r.letter, r.baseline_ms, r.event_peak_ms))
+        .collect();
+    println!("letters with visible RTT change: {}\n", plotted.join(", "));
+
+    // The K-AMS absorption story.
+    let fig7 = site_rtt::figure7(&out);
+    if let Some(ams) = fig7.site(Letter::K, "AMS") {
+        println!(
+            "K-AMS median RTT: {:.0} ms baseline -> {:.0} ms peak during the event",
+            ams.baseline_ms, ams.event_peaks_ms[0]
+        );
+    }
+
+    // Site flips.
+    let fig8 = flips::figure8(&out);
+    println!(
+        "K-root site flips: {:.0} total, {:.0}% inside the event windows",
+        fig8.total(Letter::K),
+        fig8.event_share(&out, Letter::K) * 100.0
+    );
+    let flow = flips::figure10(&out, Letter::K, "LHR");
+    if !flow.outflow_during.is_empty() {
+        println!(
+            "VPs leaving K-LHR during the event went to: {:?}",
+            flow.outflow_during
+        );
+    }
+}

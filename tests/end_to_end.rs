@@ -1,0 +1,178 @@
+//! End-to-end integration: run a full (small) scenario and check that
+//! every layer — topology, routing, services, attack, measurement,
+//! reporting, analysis — agrees with the paper's headline observations.
+//!
+//! These tests share one simulation via `OnceLock`; building it is the
+//! expensive part.
+
+use rootcast::analysis::{
+    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers,
+    site_reach, site_rtt,
+};
+use rootcast::{sim, Letter, ScenarioConfig, SimDuration, SimTime, SimOutput};
+use rootcast_attack::{AttackSchedule, AttackWindow};
+use std::sync::OnceLock;
+
+static OUT: OnceLock<SimOutput> = OnceLock::new();
+
+/// A 4-hour scenario with one 40-minute event at 3 Mq/s.
+fn scenario() -> &'static SimOutput {
+    OUT.get_or_init(|| {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_hours(4);
+        cfg.pipeline.horizon = cfg.horizon;
+        cfg.attack = AttackSchedule::new(vec![AttackWindow {
+            start: SimTime::from_mins(90),
+            duration: SimDuration::from_mins(40),
+            qname: "www.336901.com".into(),
+            targets: AttackSchedule::nov2015_targets(),
+            rate_qps: 3_000_000.0,
+        }]);
+        sim::run(&cfg)
+    })
+}
+
+#[test]
+fn observation_1_letters_see_minimal_to_severe_loss() {
+    // Table 1 / §3.2: "letters saw minimal to severe loss (1% to 95%)".
+    let fig = reachability::figure3(scenario());
+    let survivals: Vec<f64> = fig.rows.iter().map(|r| r.survival).collect();
+    let min = survivals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = survivals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(min < 0.4, "someone must suffer severely, min {min}");
+    assert!(max > 0.95, "someone must be nearly untouched, max {max}");
+}
+
+#[test]
+fn observation_2_loss_not_uniform_across_sites() {
+    // §3.3: overall letter loss does not predict per-site loss.
+    let fig = site_reach::figure5(scenario(), Letter::K);
+    let stable: Vec<_> = fig.rows.iter().filter(|r| r.stable).collect();
+    assert!(stable.len() >= 3, "need several stable K sites");
+    let dips: Vec<f64> = stable.iter().map(|r| r.event_min_norm).collect();
+    let min = dips.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = dips.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max - min > 0.4,
+        "per-site dips should spread widely: {min}..{max}"
+    );
+}
+
+#[test]
+fn observation_3_flips_and_route_changes_align_with_events() {
+    let out = scenario();
+    let fig8 = flips::figure8(out);
+    let fig9 = routing::figure9(out);
+    // Letters that flip also show collector updates, concentrated in
+    // the event window.
+    assert!(fig8.total(Letter::H) > 0.0);
+    assert!(fig9.total(Letter::H) > 0.0);
+    assert!(fig8.event_share(out, Letter::H) > 0.5);
+}
+
+#[test]
+fn observation_4_some_users_stick_others_flip() {
+    let out = scenario();
+    let fig11 = raster::figure11(out, Letter::K, &["LHR", "FRA"], 300);
+    let counts = fig11.cohort_counts();
+    let total: usize = counts.iter().map(|(_, n)| n).sum();
+    assert!(total > 0, "no focal VPs found");
+    let flips = counts[1].1 + counts[2].1;
+    assert!(flips > 0, "nobody flipped: {counts:?}");
+}
+
+#[test]
+fn observation_5_server_level_diverges_from_site_level() {
+    let out = scenario();
+    let figs = servers::figures12_13(out);
+    let fra = figs.site(Letter::K, "FRA").expect("watched");
+    let during = fra.responding_during_events(out);
+    assert_eq!(during[0].len(), 1, "K-FRA must concentrate: {during:?}");
+}
+
+#[test]
+fn observation_6_collateral_damage_exists() {
+    let out = scenario();
+    let fig14 = collateral::figure14(out, Letter::D);
+    assert!(!fig14.affected.is_empty(), "no D-root collateral");
+    let fig15 = collateral::figure15(out);
+    let worst = fig15
+        .sites
+        .iter()
+        .map(|s| s.event_min)
+        .fold(f64::INFINITY, f64::min);
+    assert!(worst < 0.8, ".nl sites should dip, worst {worst}");
+}
+
+#[test]
+fn rssac_estimation_brackets_truth() {
+    // The true offered rate is 3 Mq/s per attacked letter (30 Mq/s
+    // aggregate). Table 3's estimation must bracket it: the lower bound
+    // under, the upper bound at-or-above ~half of truth (the paper:
+    // "somewhere between half and all of our upper-bound").
+    let t3 = event_size::table3(scenario());
+    let truth_aggregate = 3.0 * 10.0;
+    let b = &t3.bounds[0];
+    assert!(
+        b.lower_mqps < truth_aggregate,
+        "lower {} should underestimate {truth_aggregate}",
+        b.lower_mqps
+    );
+    assert!(
+        b.upper_mqps > truth_aggregate * 0.4,
+        "upper {} too low vs {truth_aggregate}",
+        b.upper_mqps
+    );
+    assert!(b.lower_mqps <= b.scaled_mqps);
+}
+
+#[test]
+fn cleaning_is_effective_and_bounded() {
+    let out = scenario();
+    let kept_frac = out.n_vps_kept as f64 / 400.0;
+    assert!(kept_frac > 0.9, "cleaning too aggressive: {kept_frac}");
+    assert!(out.cleaning.excluded.len() > 0, "cleaning found nothing");
+}
+
+#[test]
+fn rtt_letters_match_loss_letters() {
+    // Letters whose RTT blows up should be ones under attack.
+    let out = scenario();
+    let fig4 = letter_rtt::figure4(out);
+    for row in fig4.significant() {
+        assert!(
+            !matches!(row.letter, Letter::D | Letter::L | Letter::M),
+            "unattacked {} showed RTT change {}",
+            row.letter,
+            row.change_factor
+        );
+    }
+}
+
+#[test]
+fn site_rtt_shows_absorption() {
+    let out = scenario();
+    let fig7 = site_rtt::figure7(out);
+    let ams = fig7.site(Letter::K, "AMS").expect("K-AMS watched");
+    assert!(
+        ams.event_peaks_ms[0] > 500.0,
+        "K-AMS bufferbloat peak {} ms",
+        ams.event_peaks_ms[0]
+    );
+}
+
+#[test]
+fn census_reported_vs_observed() {
+    let t2 = site_reach::table2(scenario());
+    // Most configured sites are observable, none over-counted.
+    for row in &t2.rows {
+        assert!(row.observed <= row.reported);
+        assert!(
+            row.observed * 2 >= row.reported,
+            "{}: only {} of {} sites observed",
+            row.letter,
+            row.observed,
+            row.reported
+        );
+    }
+}
