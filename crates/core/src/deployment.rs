@@ -17,7 +17,7 @@ use rootcast_bgp::Scope;
 use rootcast_dns::Letter;
 use rootcast_netsim::stats::mix64;
 use rootcast_netsim::SimDuration;
-use rootcast_topology::{city_by_code, AsGraph, AsId, Tier};
+use rootcast_topology::{city_by_code, AsGraph, AsId, Relation, Tier};
 
 /// Facility ids used by the canonical scenario.
 pub mod facilities {
@@ -76,6 +76,58 @@ pub fn host_in_city(graph: &AsGraph, city_code: &str, salt: u64) -> AsId {
         "no AS available in {city_code}; enlarge the topology"
     );
     pool[(mix64(salt) % pool.len() as u64) as usize]
+}
+
+/// Number of ASes in `root`'s customer cone (`root` plus transitive
+/// customers) — the BGP notion of how much of the Internet sits
+/// "behind" a host.
+fn customer_cone_size(graph: &AsGraph, root: AsId) -> usize {
+    let mut seen = vec![false; graph.len()];
+    let mut stack = vec![root];
+    seen[root.0 as usize] = true;
+    let mut count = 0;
+    while let Some(id) = stack.pop() {
+        count += 1;
+        for adj in graph.neighbors(id) {
+            if adj.relation == Relation::Customer && !seen[adj.neighbor.0 as usize] {
+                seen[adj.neighbor.0 as usize] = true;
+                stack.push(adj.neighbor);
+            }
+        }
+    }
+    count
+}
+
+/// Pick the transit AS in `city_code` with the largest (or smallest)
+/// customer cone. Sites whose observed behavior hinges on catchment
+/// *size* — K-AMS's IX-scale absorber, K-LHR's pinned peering leg —
+/// use this instead of the salted pick, so the outcome is a structural
+/// property of the deployment rather than an accident of the topology
+/// seed. Ties break on AS id, keeping the choice deterministic.
+pub fn host_in_city_by_cone(graph: &AsGraph, city_code: &str, largest: bool) -> AsId {
+    let (city_id, _) = city_by_code(city_code)
+        .unwrap_or_else(|| panic!("unknown city code {city_code}"));
+    let mut tier2: Vec<AsId> = Vec::new();
+    let mut others: Vec<AsId> = Vec::new();
+    for node in graph.nodes() {
+        if node.city == city_id {
+            match node.tier {
+                Tier::Tier2 => tier2.push(node.id),
+                _ => others.push(node.id),
+            }
+        }
+    }
+    let pool = if !tier2.is_empty() { tier2 } else { others };
+    assert!(
+        !pool.is_empty(),
+        "no AS available in {city_code}; enlarge the topology"
+    );
+    pool.into_iter()
+        .min_by_key(|&id| {
+            let cone = customer_cone_size(graph, id) as i64;
+            (if largest { -cone } else { cone }, id.0)
+        })
+        .expect("non-empty pool")
 }
 
 /// Does any AS exist in this city? (Small test topologies may not cover
@@ -171,7 +223,7 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
     // a mid-size catchment whose dip is visible in Figure 14 without
     // denting D's letter-level reachability (Figure 3 shows D flat).
     d_sites.push(
-        site(graph, Letter::D, "FRA", 100, 350_000.0)
+        SiteSpec::global("FRA", host_in_city_by_cone(graph, "FRA", true), 350_000.0)
             .with_scope(Scope::Local)
             .with_facility(facilities::FRA_SHARED),
     );
@@ -365,9 +417,11 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
     //    servers slow, one hash-hot, §3.5).
     let mut k_sites: Vec<SiteSpec> = Vec::new();
     {
-        let cap_ams = 320_000.0;
+        // AMS-IX peering gives K-AMS the biggest catchment in the
+        // deployment by construction: host on the largest-cone transit.
+        let cap_ams = 150_000.0;
         k_sites.push(
-            site(graph, Letter::K, "AMS", 0, cap_ams)
+            SiteSpec::global("AMS", host_in_city_by_cone(graph, "AMS", true), cap_ams)
                 .with_buffer(buffer_secs(cap_ams, 2.2)),
         );
         let cap_lhr = 80_000.0;
@@ -382,9 +436,12 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
                 }),
         );
         // The pinned peering leg of K-LHR (same airport code: both
-        // origins present as "K-LHR" in CHAOS identities).
+        // origins present as "K-LHR" in CHAOS identities). Hosted on
+        // the smallest-cone transit so that when the global origin
+        // withdraws, only the host's own cone stays "stuck" here and
+        // everyone else flips to AMS — the §3.3 behavior.
         k_sites.push(
-            site(graph, Letter::K, "LHR", 2, 60_000.0)
+            SiteSpec::global("LHR", host_in_city_by_cone(graph, "LHR", false), 60_000.0)
                 .with_scope(Scope::Local)
                 .with_buffer(buffer_secs(60_000.0, 0.3)),
         );
@@ -395,9 +452,11 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
                 .with_lb_mode(LoadBalancerMode::FailoverConcentrate)
                 .with_facility(facilities::FRA_SHARED),
         );
-        let cap_nrt = 200_000.0;
+        // K-NRT serves the region's biggest cone through one congested
+        // shared link.
+        let cap_nrt = 55_000.0;
         k_sites.push(
-            site(graph, Letter::K, "NRT", 4, cap_nrt)
+            SiteSpec::global("NRT", host_in_city_by_cone(graph, "NRT", true), cap_nrt)
                 .with_buffer(buffer_secs(cap_nrt, 1.8))
                 .with_lb_mode(LoadBalancerMode::SharedLink),
         );

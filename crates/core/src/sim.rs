@@ -99,7 +99,7 @@ impl ScenarioConfig {
                 // the Frankfurt link saturates once K-LHR's catchment
                 // shifts into K-FRA, and Sydney saturates under E-SYD's
                 // exposure — the couplings behind Figures 14 and 15.
-                (facilities::FRA_SHARED, 140_000.0),
+                (facilities::FRA_SHARED, 95_000.0),
                 (facilities::SYD_SHARED, 30_000.0),
             ],
             maintenance_mean: Some(SimDuration::from_mins(90)),

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The DNS wire codec is the only user; it needs an append-only byte
+//! buffer with big-endian integer writes and random-access patching of
+//! previously written bytes (for rdlength back-fill and compression
+//! pointers). A `Vec<u8>` wrapper covers all of that.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer, API-compatible with `bytes::BytesMut` for
+/// the subset rootcast uses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consume the buffer, yielding its contents. (Upstream returns an
+    /// immutable `Bytes`; a `Vec<u8>` serves the same role here.)
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { inner: v }
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.inner
+    }
+}
+
+/// Append-style writes, big-endian for multi-byte integers (network
+/// order, as DNS requires).
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_writes() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u8(0x7F);
+        assert_eq!(&buf[..], &[0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF, 0x7F]);
+    }
+
+    #[test]
+    fn random_access_patching() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u16(0);
+        buf.put_slice(b"abc");
+        let patch = (buf.len() as u16 - 2).to_be_bytes();
+        buf[0..2].copy_from_slice(&patch);
+        assert_eq!(&buf[..2], &patch);
+        assert_eq!(buf.to_vec().len(), 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Collection strategies: currently just `vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy for a `Vec` whose length is drawn from `len` (half-open)
+/// and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range for vec strategy");
+    VecStrategy { element, len }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = TestRng::from_name("vec");
+        let s = vec(0u8..255, 1..5);
+        for _ in 0..1_000 {
+            let v = s.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The `Strategy` trait and the built-in strategies rootcast's tests
+//! draw from: numeric ranges, `any::<T>()`, regex-shaped strings (via
+//! [`crate::string`]), and mapped strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                ((self.start as i64).wrapping_add(rng.below(span) as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let v = self.start + rng.unit_f64() as $t * (self.end - self.start);
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+/// A bare string literal is treated as a regex, as upstream does.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::string_regex(self)
+            .expect("invalid regex strategy literal")
+            .generate(rng)
+    }
+}
+
+/// Full-domain generation, the engine behind [`crate::any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        for b in &mut out {
+            *b = rng.next_u64() as u8;
+        }
+        out
+    }
+}
+
+/// Strategy wrapper returned by [`crate::any`].
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..5_000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::from_name("map");
+        let s = (1u32..10).prop_map(|x| x * 100);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v >= 100 && v < 1000 && v % 100 == 0);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! String strategies from a regex subset.
+//!
+//! Supports the patterns rootcast's tests use: a sequence of atoms,
+//! where an atom is a character class `[...]` (literal chars and
+//! `a-z`-style ranges), a `.` (printable ASCII), or a literal
+//! character, each optionally followed by `{m}`, `{m,n}`, `*`, `+`,
+//! or `?`. Anything fancier returns an error.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Why a pattern could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex strategy: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The alphabet this atom draws from.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Strategy generating strings matching the compiled pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+/// Compile `pattern` into a generation strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match chars.next() {
+                        None => return Err(Error(format!("unterminated class in {pattern:?}"))),
+                        Some(']') => break,
+                        Some('-') => match (prev, chars.peek()) {
+                            (Some(lo), Some(&hi)) if hi != ']' => {
+                                chars.next();
+                                if lo > hi {
+                                    return Err(Error(format!("bad range in {pattern:?}")));
+                                }
+                                set.extend((lo..=hi).skip(1));
+                                prev = None;
+                            }
+                            _ => {
+                                set.push('-');
+                                prev = Some('-');
+                            }
+                        },
+                        Some(ch) => {
+                            set.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err(Error(format!("empty class in {pattern:?}")));
+                }
+                set
+            }
+            '.' => (' '..='~').collect(),
+            '\\' => match chars.next() {
+                Some(esc) => vec![esc],
+                None => return Err(Error(format!("trailing backslash in {pattern:?}"))),
+            },
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                return Err(Error(format!("unsupported construct {c:?} in {pattern:?}")))
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern)?;
+        atoms.push(Atom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    Ok(RegexGeneratorStrategy { atoms })
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Result<(usize, usize), Error> {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(ch) => spec.push(ch),
+                    None => return Err(Error(format!("unterminated quantifier in {pattern:?}"))),
+                }
+            }
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .map_err(|_| Error(format!("bad quantifier {spec:?} in {pattern:?}")))
+            };
+            match spec.split_once(',') {
+                None => {
+                    let n = parse(&spec)?;
+                    Ok((n, n))
+                }
+                Some((lo, hi)) => {
+                    let lo = parse(lo)?;
+                    let hi = if hi.is_empty() { lo + 8 } else { parse(hi)? };
+                    if lo > hi {
+                        return Err(Error(format!("bad quantifier {spec:?} in {pattern:?}")));
+                    }
+                    Ok((lo, hi))
+                }
+            }
+        }
+        Some('*') => {
+            chars.next();
+            Ok((0, 8))
+        }
+        Some('+') => {
+            chars.next();
+            Ok((1, 8))
+        }
+        Some('?') => {
+            chars.next();
+            Ok((0, 1))
+        }
+        _ => Ok((1, 1)),
+    }
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_pattern_generates_valid_labels() {
+        let s = string_regex("[a-z0-9]{1,20}").unwrap();
+        let mut rng = TestRng::from_name("label");
+        for _ in 0..1_000 {
+            let v = s.generate(&mut rng);
+            assert!((1..=20).contains(&v.len()), "{v:?}");
+            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn fixed_count_class() {
+        let s = string_regex("[A-Z]{3}").unwrap();
+        let mut rng = TestRng::from_name("site");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert_eq!(v.len(), 3);
+            assert!(v.chars().all(|c| c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn dot_quantified() {
+        let s = string_regex(".{0,60}").unwrap();
+        let mut rng = TestRng::from_name("dot");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 60);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let s = string_regex(r"ab\.c").unwrap();
+        let mut rng = TestRng::from_name("lit");
+        assert_eq!(s.generate(&mut rng), "ab.c");
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(string_regex("(a|b)").is_err());
+        assert!(string_regex("[a-").is_err());
+    }
+}

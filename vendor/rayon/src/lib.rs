@@ -1,0 +1,406 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Provides genuinely parallel `par_iter`/`par_iter_mut`/`into_par_iter`
+//! over slices, vectors, and `usize` ranges, built on `std::thread::scope`.
+//! Work is split into contiguous chunks (one per worker) and chunk
+//! outputs are merged **in input order**, so `collect` is deterministic
+//! regardless of thread scheduling — the property rootcast's engine
+//! relies on. Unlike upstream rayon there is no work stealing; chunks
+//! are static, which is fine for the uniform per-letter workloads here.
+
+use std::ops::Range;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator,
+    };
+}
+
+thread_local! {
+    static POOL_THREADS: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// Number of worker threads the current scope would use.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|n| n.get()).unwrap_or_else(|| {
+        thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use the default".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.num_threads.unwrap_or_else(current_num_threads),
+        })
+    }
+}
+
+/// A "pool" that scopes a worker-count override; parallel iterators run
+/// inside `install` see its thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.n)));
+        let out = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// Split `len` items into at most `current_num_threads()` contiguous
+/// chunk ranges, in order.
+fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
+    let workers = current_num_threads().max(1).min(len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// The core contract: apply `f` to every item, chunked across worker
+/// threads, returning per-chunk outputs **in input order**.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    #[doc(hidden)]
+    fn run<R, F>(self, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.run(|x| {
+            f(x);
+        });
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run(|x| x).into_iter().flatten().collect()
+    }
+}
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn run<R2, G>(self, g: G) -> Vec<Vec<R2>>
+    where
+        R2: Send,
+        G: Fn(R) -> R2 + Sync,
+    {
+        let f = self.f;
+        self.base.run(move |x| g(f(x)))
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn run<R, F>(self, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        let ranges = chunk_ranges(self.slice.len());
+        if ranges.len() <= 1 {
+            return vec![self.slice.iter().map(|x| f(x)).collect()];
+        }
+        let slice = self.slice;
+        thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    let f = &f;
+                    s.spawn(move || slice[r].iter().map(|x| f(x)).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
+        })
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for ParIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn run<R, F>(self, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&'a mut T) -> R + Sync,
+    {
+        let ranges = chunk_ranges(self.slice.len());
+        if ranges.len() <= 1 {
+            return vec![self.slice.iter_mut().map(|x| f(x)).collect()];
+        }
+        // Carve the slice into disjoint mutable chunks up front.
+        let mut chunks: Vec<&'a mut [T]> = Vec::with_capacity(ranges.len());
+        let mut rest = self.slice;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            chunks.push(head);
+            rest = tail;
+        }
+        thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let f = &f;
+                    s.spawn(move || chunk.iter_mut().map(|x| f(x)).collect::<Vec<R>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
+        })
+    }
+}
+
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn run<R, F>(self, f: F) -> Vec<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let start = self.range.start;
+        let ranges = chunk_ranges(self.range.len());
+        if ranges.len() <= 1 {
+            return vec![self.range.map(|i| f(i)).collect()];
+        }
+        thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|r| {
+                    let f = &f;
+                    s.spawn(move || {
+                        (start + r.start..start + r.end)
+                            .map(|i| f(i))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect()
+        })
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn into_par_iter(self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut [T] {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn into_par_iter(self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelIterator for &'a mut Vec<T> {
+    type Item = &'a mut T;
+    type Iter = ParIterMut<'a, T>;
+    fn into_par_iter(self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, S: ?Sized + 'a> IntoParallelRefIterator<'a> for S
+where
+    &'a S: IntoParallelIterator,
+{
+    type Item = <&'a S as IntoParallelIterator>::Item;
+    type Iter = <&'a S as IntoParallelIterator>::Iter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, S: ?Sized + 'a> IntoParallelRefMutIterator<'a> for S
+where
+    &'a mut S: IntoParallelIterator,
+{
+    type Item = <&'a mut S as IntoParallelIterator>::Item;
+    type Iter = <&'a mut S as IntoParallelIterator>::Iter;
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_item() {
+        let mut v = vec![1u32; 513];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn range_fan_out() {
+        let squares: Vec<usize> = (0..13).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 13);
+        assert_eq!(squares[12], 144);
+    }
+
+    #[test]
+    fn single_thread_pool_matches_parallel_output() {
+        let input: Vec<u64> = (0..777).collect();
+        let par: Vec<u64> = input.par_iter().map(|x| x * 3 + 1).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seq: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 3 + 1).collect());
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+        let one = [42u8];
+        let out: Vec<u8> = one.par_iter().map(|x| *x).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace ever calls a serializer, so the derives
+//! only need to be *accepted*, not to generate working impls. Each
+//! derive expands to an empty token stream, which is a valid (if
+//! vacuous) derive expansion. Avoids depending on syn/quote, which are
+//! unavailable offline.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

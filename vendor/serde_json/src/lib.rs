@@ -1,0 +1,94 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! rootcast declares serde_json for future figure/table emission but
+//! does not call it anywhere in the workspace yet. This stand-in
+//! provides a minimal JSON `Value` plus a `json!`-free surface so the
+//! dependency resolves offline; extend it if emission lands.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::String(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let mut obj = BTreeMap::new();
+        obj.insert("qps".to_string(), Value::Number(35000.0));
+        obj.insert("letter".to_string(), Value::String("K".to_string()));
+        let v = Value::Object(obj);
+        assert_eq!(v.to_string(), r#"{"letter":"K","qps":35000}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Value::String("a\"b\\c\nd".to_string());
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+}
