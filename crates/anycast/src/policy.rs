@@ -92,7 +92,7 @@ pub enum LoadBalancerMode {
 }
 
 /// Tracks the overload state machine for one site.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct OverloadTracker {
     /// When the current continuous overload began.
     over_since: Option<SimTime>,
@@ -101,16 +101,6 @@ pub struct OverloadTracker {
     pub episodes: u32,
     /// Currently in an overload episode?
     pub overloaded: bool,
-}
-
-impl Default for OverloadTracker {
-    fn default() -> Self {
-        OverloadTracker {
-            over_since: None,
-            episodes: 0,
-            overloaded: false,
-        }
-    }
 }
 
 impl OverloadTracker {

@@ -8,8 +8,8 @@
 //! probe queries for the measurement layer.
 
 use crate::facility::FacilityTable;
-use crate::site::{SiteIdx, SiteSpec, SiteState};
 use crate::policy::StressPolicy;
+use crate::site::{SiteIdx, SiteSpec, SiteState};
 use rootcast_bgp::{compute_rib_scoped, Origin, Rib};
 use rootcast_dns::Letter;
 use rootcast_netsim::{SimDuration, SimTime};
@@ -56,6 +56,12 @@ pub struct RoutingChanges {
 impl RoutingChanges {
     pub fn is_empty(&self) -> bool {
         self.withdrew.is_empty() && self.reannounced.is_empty()
+    }
+
+    /// Total number of routing transitions (withdrawals plus
+    /// re-announcements).
+    pub fn len(&self) -> usize {
+        self.withdrew.len() + self.reannounced.len()
     }
 }
 
@@ -289,8 +295,7 @@ mod tests {
         let stubs = g.by_tier(Tier::Stub);
         let specs = vec![
             SiteSpec::global("AMS", stubs[0], 1000.0),
-            SiteSpec::global("IAD", stubs[1], 1000.0)
-                .with_policy(StressPolicy::withdraw_default()),
+            SiteSpec::global("IAD", stubs[1], 1000.0).with_policy(StressPolicy::withdraw_default()),
         ];
         let svc = AnycastService::new("test", Some(Letter::K), &g, specs);
         (g, svc, stubs)
@@ -337,13 +342,10 @@ mod tests {
         assert!(withdrew, "withdraw policy never fired");
         assert_eq!(svc.announced_sites(), vec![0]);
         // All catchments now at site 0.
-        assert_eq!(
-            svc.rib().catchment_sizes(2),
-            vec![g.len(), 0],
-        );
+        assert_eq!(svc.rib().catchment_sizes(2), vec![g.len(), 0],);
         // Re-announce happens ~30 min later.
         let again = SimTime::ZERO + SimDuration::from_mins(45);
-        svc.advance_queues(again, &vec![0.0; 2], &facilities);
+        svc.advance_queues(again, &[0.0; 2], &facilities);
         let ch = svc.apply_policies(again, &g);
         assert_eq!(ch.reannounced, vec![1]);
         let _ = facilities;
@@ -363,7 +365,11 @@ mod tests {
         }
         assert_eq!(svc.announced_sites(), vec![0, 1]);
         // But the absorbing site is lossy and slow.
-        assert!(svc.site(0).last_loss > 0.9, "loss={}", svc.site(0).last_loss);
+        assert!(
+            svc.site(0).last_loss > 0.9,
+            "loss={}",
+            svc.site(0).last_loss
+        );
         assert!(svc.site(0).queue_delay() > SimDuration::from_millis(500));
     }
 
@@ -428,7 +434,10 @@ mod tests {
         let servers: std::collections::BTreeSet<u16> = (0..64)
             .map(|h| svc.probe_view(stubs[1], h).unwrap().server)
             .collect();
-        assert!(servers.len() > 1, "expected server diversity, got {servers:?}");
+        assert!(
+            servers.len() > 1,
+            "expected server diversity, got {servers:?}"
+        );
         // Overloaded: exactly one server answers everyone.
         let mut t = SimTime::ZERO;
         for _ in 0..5 {

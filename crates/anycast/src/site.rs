@@ -1,9 +1,9 @@
 //! Anycast sites and the servers inside them (Figure 1's `s_*`/`r_*`).
 
 use crate::policy::{LoadBalancerMode, OverloadTracker, StressPolicy};
+use rootcast_bgp::Scope;
 use rootcast_netsim::stats::mix64;
 use rootcast_netsim::{FluidQueue, SimDuration, SimTime};
-use rootcast_bgp::Scope;
 use rootcast_topology::AsId;
 use serde::{Deserialize, Serialize};
 
@@ -201,9 +201,8 @@ impl SiteState {
     /// in Figure 13) and adds half the queue delay again.
     pub fn server_extra_delay(&self, server: u16) -> SimDuration {
         if self.spec.lb_mode == LoadBalancerMode::SharedLink && self.utilization() > 1.0 {
-            let hot = (mix64(u64::from(self.spec.host_as.0)) % u64::from(self.spec.n_servers))
-                as u16
-                + 1;
+            let hot =
+                (mix64(u64::from(self.spec.host_as.0)) % u64::from(self.spec.n_servers)) as u16 + 1;
             if server == hot {
                 return SimDuration::from_nanos(self.queue.queue_delay().as_nanos() / 2);
             }
@@ -246,9 +245,7 @@ mod tests {
 
     #[test]
     fn failover_concentrates_to_one_survivor_per_episode() {
-        let mut st = SiteState::new(
-            spec().with_lb_mode(LoadBalancerMode::FailoverConcentrate),
-        );
+        let mut st = SiteState::new(spec().with_lb_mode(LoadBalancerMode::FailoverConcentrate));
         st.tracker.overloaded = true;
         st.tracker.episodes = 1;
         let first = st.responding_servers();
@@ -263,9 +260,7 @@ mod tests {
 
     #[test]
     fn server_for_targets_responding_server() {
-        let mut st = SiteState::new(
-            spec().with_lb_mode(LoadBalancerMode::FailoverConcentrate),
-        );
+        let mut st = SiteState::new(spec().with_lb_mode(LoadBalancerMode::FailoverConcentrate));
         st.tracker.overloaded = true;
         st.tracker.episodes = 3;
         let survivor = st.responding_servers()[0];

@@ -146,11 +146,7 @@ mod tests {
     fn hijack_needs_both_signals() {
         let f = fleet(2);
         // Pick a kept (good-firmware, non-hijack-generated) VP id.
-        let good = f
-            .iter()
-            .find(|v| v.firmware >= MIN_FIRMWARE)
-            .unwrap()
-            .id;
+        let good = f.iter().find(|v| v.firmware >= MIN_FIRMWARE).unwrap().id;
         // Unparseable + fast -> hijacked.
         let cal = vec![reply(good.0, Letter::K, "cache0.local", 2.0)];
         let report = clean_fleet(&f, &cal);

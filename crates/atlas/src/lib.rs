@@ -24,5 +24,7 @@ pub use clean::{clean_fleet, clean_outcome, CleanObs, CleaningReport, ExclusionR
 pub use pipeline::{
     raster_code, FlipEvent, LetterData, MeasurementPipeline, PipelineConfig, ServerWatch,
 };
-pub use probe::{execute_probe, ChaosTarget, RawMeasurement, RawOutcome, TargetView, ATLAS_TIMEOUT};
+pub use probe::{
+    execute_probe, ChaosTarget, RawMeasurement, RawOutcome, TargetView, ATLAS_TIMEOUT,
+};
 pub use vp::{FleetParams, VantagePoint, VpFleet, VpId, MIN_FIRMWARE};

@@ -144,10 +144,7 @@ impl LetterData {
     /// Per-bin median RTT in milliseconds (NaN where no samples).
     pub fn rtt_median_ms(&self) -> BinnedSeries {
         let s = self.rtt.reduce(Reduce::Median, f64::NAN);
-        BinnedSeries::from_values(
-            s.bin_width(),
-            s.values().iter().map(|v| v / 1e6).collect(),
-        )
+        BinnedSeries::from_values(s.bin_width(), s.values().iter().map(|v| v / 1e6).collect())
     }
 }
 
@@ -233,8 +230,7 @@ impl MeasurementPipeline {
         );
         let n_bins = self.cfg.n_bins();
         let bin = self.cfg.bin;
-        let site_codes: Vec<String> =
-            site_codes.iter().map(|c| c.to_ascii_uppercase()).collect();
+        let site_codes: Vec<String> = site_codes.iter().map(|c| c.to_ascii_uppercase()).collect();
         let watches: BTreeMap<u16, ServerWatch> = self
             .cfg
             .watched_sites
@@ -279,8 +275,10 @@ impl MeasurementPipeline {
         self.letters.insert(letter, data);
         self.letter_order.push(letter);
         // Grow the state table: one slot per (vp, letter).
-        self.state
-            .resize(self.n_vps * self.letter_order.len(), VpLetterState::default());
+        self.state.resize(
+            self.n_vps * self.letter_order.len(),
+            VpLetterState::default(),
+        );
     }
 
     fn slot(&self, vp: VpId, letter: Letter) -> usize {
@@ -370,7 +368,7 @@ impl MeasurementPipeline {
             BinBest::Site { site, server, rtt } => {
                 data.success.incr_at(bin_start);
                 data.site_counts[site as usize].incr_at(bin_start);
-                if vp.0 % rtt_subsample == 0 {
+                if vp.0.is_multiple_of(rtt_subsample) {
                     data.rtt.push(bin_start, rtt.as_nanos() as f64);
                 }
                 if let Some(prev) = st.last_site {
@@ -577,7 +575,10 @@ mod tests {
         let row = &d.raster.as_ref().unwrap()[0];
         let fra = raster_code::SITE_BASE + d.site_idx("FRA").unwrap() as u8;
         let ams = raster_code::SITE_BASE + d.site_idx("AMS").unwrap() as u8;
-        assert_eq!(row.as_slice(), &[fra, raster_code::TIMEOUT, raster_code::MISSING, ams]);
+        assert_eq!(
+            row.as_slice(),
+            &[fra, raster_code::TIMEOUT, raster_code::MISSING, ams]
+        );
     }
 
     #[test]
@@ -594,7 +595,12 @@ mod tests {
     #[test]
     fn observations_beyond_horizon_ignored() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, SimTime::from_hours(2), &site_obs("AMS", 1, 30));
+        p.record(
+            VpId(0),
+            Letter::K,
+            SimTime::from_hours(2),
+            &site_obs("AMS", 1, 30),
+        );
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.success.values().iter().sum::<f64>(), 0.0);

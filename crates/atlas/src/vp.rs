@@ -175,8 +175,7 @@ impl VpFleet {
 
     /// Count of VPs in each region (diagnostics / bias checks).
     pub fn region_counts(&self, graph: &AsGraph) -> Vec<(Region, usize)> {
-        let mut counts: Vec<(Region, usize)> =
-            Region::ALL.iter().map(|&r| (r, 0usize)).collect();
+        let mut counts: Vec<(Region, usize)> = Region::ALL.iter().map(|&r| (r, 0usize)).collect();
         for vp in &self.vps {
             let r = city(graph.node(vp.asn).city).region;
             let slot = counts
@@ -211,11 +210,7 @@ mod tests {
     fn europe_dominates() {
         let (g, f) = fleet(2000, 2);
         let counts = f.region_counts(&g);
-        let europe = counts
-            .iter()
-            .find(|(r, _)| *r == Region::Europe)
-            .unwrap()
-            .1;
+        let europe = counts.iter().find(|(r, _)| *r == Region::Europe).unwrap().1;
         let frac = europe as f64 / f.len() as f64;
         assert!(frac > 0.5, "europe fraction {frac}");
     }

@@ -30,8 +30,10 @@ fn ablation_policy_sweep(c: &mut Criterion) {
             for step in 0..=48 {
                 let a = step as f64 * 0.25;
                 let d = paper_deployment(1.0, a, a);
-                let hs: Vec<u32> =
-                    Strategy::ALL.iter().map(|s| s.apply(&d).happiness()).collect();
+                let hs: Vec<u32> = Strategy::ALL
+                    .iter()
+                    .map(|s| s.apply(&d).happiness())
+                    .collect();
                 results.push((a, hs, d.best_possible()));
             }
             black_box(results)
@@ -43,10 +45,18 @@ fn ablation_policy_sweep(c: &mut Criterion) {
     for step in (0..=48).step_by(8) {
         let a = step as f64 * 0.25;
         let d = paper_deployment(1.0, a, a);
-        let hs: Vec<u32> = Strategy::ALL.iter().map(|s| s.apply(&d).happiness()).collect();
+        let hs: Vec<u32> = Strategy::ALL
+            .iter()
+            .map(|s| s.apply(&d).happiness())
+            .collect();
         println!(
             "{:<6} {:<7} {:<7} {:<8} {:<8} {}",
-            a, hs[0], hs[1], hs[2], hs[3], d.best_possible()
+            a,
+            hs[0],
+            hs[1],
+            hs[2],
+            hs[3],
+            d.best_possible()
         );
     }
 }
@@ -124,10 +134,7 @@ fn ablation_site_scaling(c: &mut Criterion) {
         }
         // Served fraction across sites = survival proxy.
         let served: f64 = svc.served_per_site().iter().sum();
-        let offered: f64 = svc
-            .offered_per_site(botnet.weights(), attack)
-            .iter()
-            .sum();
+        let offered: f64 = svc.offered_per_site(botnet.weights(), attack).iter().sum();
         served / offered
     };
     c.bench_function("ablation_site_scaling", |b| {

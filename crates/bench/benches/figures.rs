@@ -24,8 +24,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rootcast::analysis::{
-    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers,
-    site_reach, site_rtt,
+    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers, site_reach,
+    site_rtt,
 };
 use rootcast::{policy_model, Letter};
 use rootcast_bench::bench_scenario;
@@ -47,7 +47,10 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("fig2_policy_model", |b| {
         b.iter(|| black_box(policy_model::paper_cases()))
     });
-    println!("{}", policy_model::render_cases(&policy_model::paper_cases()));
+    println!(
+        "{}",
+        policy_model::render_cases(&policy_model::paper_cases())
+    );
 
     c.bench_function("fig3_letter_reachability", |b| {
         b.iter(|| black_box(reachability::figure3(out)))

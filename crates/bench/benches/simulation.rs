@@ -28,18 +28,14 @@ fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("scenario_run");
     g.sample_size(10);
     for &n_vps in &[100usize, 400, 1000] {
-        g.bench_with_input(
-            BenchmarkId::new("vps", n_vps),
-            &n_vps,
-            |b, &n| b.iter(|| black_box(sim::run(&cfg_with(n, 2)))),
-        );
+        g.bench_with_input(BenchmarkId::new("vps", n_vps), &n_vps, |b, &n| {
+            b.iter(|| black_box(sim::run(&cfg_with(n, 2))))
+        });
     }
     for &hours in &[1u64, 2, 4] {
-        g.bench_with_input(
-            BenchmarkId::new("hours", hours),
-            &hours,
-            |b, &h| b.iter(|| black_box(sim::run(&cfg_with(400, h)))),
-        );
+        g.bench_with_input(BenchmarkId::new("hours", hours), &hours, |b, &h| {
+            b.iter(|| black_box(sim::run(&cfg_with(400, h))))
+        });
     }
     g.finish();
 }

@@ -173,59 +173,61 @@ enum Phase {
     Provider,
 }
 
+/// Export frontier ordered by `(path_len, latency, next_hop, target)`
+/// so expansion order — and therefore every tiebreak — is deterministic.
+type ExportHeap = BinaryHeap<Reverse<(u16, SimDuration, u32, u32, RouteEntry)>>;
+
 /// Dijkstra-style expansion for one phase. The heap is ordered by
 /// `(path_len, next_hop, target)` so expansion order — and therefore
 /// every tiebreak — is deterministic.
 fn run_phase(graph: &AsGraph, entries: &mut [Option<RouteEntry>], phase: Phase) {
-    let mut heap: BinaryHeap<Reverse<(u16, SimDuration, u32, u32, RouteEntry)>> =
-        BinaryHeap::new();
+    let mut heap: ExportHeap = BinaryHeap::new();
 
-    let push_exports =
-        |heap: &mut BinaryHeap<Reverse<(u16, SimDuration, u32, u32, RouteEntry)>>,
-         graph: &AsGraph,
-         u: AsId,
-         r: &RouteEntry,
-         origins_exportable: bool| {
-            for adj in graph.neighbors(u) {
-                let target_rel_ok = match phase {
-                    // u exports to its providers (neighbor is Provider to u).
-                    Phase::Customer => adj.relation == Relation::Provider,
-                    // u exports to its customers.
-                    Phase::Provider => adj.relation == Relation::Customer,
-                };
-                if !target_rel_ok {
-                    continue;
-                }
-                if phase == Phase::Customer && !origins_exportable {
-                    continue;
-                }
-                let learned = match phase {
-                    Phase::Customer => LearnedFrom::Customer,
-                    Phase::Provider => LearnedFrom::Provider,
-                };
-                let cand = RouteEntry {
-                    origin: r.origin,
-                    learned,
-                    path_len: r.path_len + 1,
-                    next_hop: u,
-                    latency: r.latency + graph.geo_delay(u, adj.neighbor) + HOP_OVERHEAD,
-                };
-                heap.push(Reverse((
-                    cand.path_len,
-                    cand.latency,
-                    cand.next_hop.0,
-                    adj.neighbor.0,
-                    cand,
-                )));
+    let push_exports = |heap: &mut ExportHeap,
+                        graph: &AsGraph,
+                        u: AsId,
+                        r: &RouteEntry,
+                        origins_exportable: bool| {
+        for adj in graph.neighbors(u) {
+            let target_rel_ok = match phase {
+                // u exports to its providers (neighbor is Provider to u).
+                Phase::Customer => adj.relation == Relation::Provider,
+                // u exports to its customers.
+                Phase::Provider => adj.relation == Relation::Customer,
+            };
+            if !target_rel_ok {
+                continue;
             }
-        };
+            if phase == Phase::Customer && !origins_exportable {
+                continue;
+            }
+            let learned = match phase {
+                Phase::Customer => LearnedFrom::Customer,
+                Phase::Provider => LearnedFrom::Provider,
+            };
+            let cand = RouteEntry {
+                origin: r.origin,
+                learned,
+                path_len: r.path_len + 1,
+                next_hop: u,
+                latency: r.latency + graph.geo_delay(u, adj.neighbor) + HOP_OVERHEAD,
+            };
+            heap.push(Reverse((
+                cand.path_len,
+                cand.latency,
+                cand.next_hop.0,
+                adj.neighbor.0,
+                cand,
+            )));
+        }
+    };
 
     // Seed the heap from every AS that currently has a route. In the
     // customer phase only origin/customer routes export upward (Local
     // scope is resolved by `compute_rib_scoped` before we get here); in
     // the provider phase every AS exports its best route downward.
-    for i in 0..entries.len() {
-        let Some(r) = entries[i] else { continue };
+    for (i, entry) in entries.iter().enumerate() {
+        let Some(r) = *entry else { continue };
         let u = AsId(i as u32);
         match phase {
             Phase::Customer => {
@@ -307,8 +309,7 @@ fn overlay_local_origin(graph: &AsGraph, rib: &mut Rib, origin: &Origin, idx: Or
 
     // BFS down the customer cone; descendants treat the route as
     // provider-learned and adopt it only when it beats what they have.
-    let mut heap: BinaryHeap<Reverse<(u16, SimDuration, u32, u32, RouteEntry)>> =
-        BinaryHeap::new();
+    let mut heap: ExportHeap = BinaryHeap::new();
     let seed = host_entry;
     for adj in graph.neighbors(origin.host) {
         if adj.relation == Relation::Customer {
@@ -317,9 +318,7 @@ fn overlay_local_origin(graph: &AsGraph, rib: &mut Rib, origin: &Origin, idx: Or
                 learned: LearnedFrom::Provider,
                 path_len: seed.path_len + 1,
                 next_hop: origin.host,
-                latency: seed.latency
-                    + graph.geo_delay(origin.host, adj.neighbor)
-                    + HOP_OVERHEAD,
+                latency: seed.latency + graph.geo_delay(origin.host, adj.neighbor) + HOP_OVERHEAD,
             };
             heap.push(Reverse((
                 cand.path_len,

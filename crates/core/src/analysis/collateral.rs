@@ -165,7 +165,10 @@ mod tests {
         assert!(
             fig.affected.iter().any(|s| s.code == "FRA"),
             "D-FRA missing from {:?}",
-            fig.affected.iter().map(|s| s.code.clone()).collect::<Vec<_>>()
+            fig.affected
+                .iter()
+                .map(|s| s.code.clone())
+                .collect::<Vec<_>>()
         );
         for s in &fig.affected {
             assert!(s.dip >= DIP_THRESHOLD);

@@ -66,7 +66,7 @@ pub struct Table3 {
 
 pub fn table3(out: &SimOutput) -> Table3 {
     // Event seconds per day (day of a window = start day).
-    let mut event_secs = vec![0.0f64; 2];
+    let mut event_secs = [0.0f64; 2];
     for w in out.attack.windows() {
         let day = (w.start.as_secs() / 86_400) as usize;
         if day < event_secs.len() {
@@ -86,9 +86,12 @@ pub fn table3(out: &SimOutput) -> Table3 {
     for (&letter, collector) in &out.rssac {
         let baseline = &out.rssac_baseline[&letter];
         let attacked = attacked_letters.contains(&letter);
-        for day in 0..collector.n_days().min(2) {
+        for (day, &secs) in event_secs
+            .iter()
+            .enumerate()
+            .take(collector.n_days().min(2))
+        {
             let report = collector.report(day);
-            let secs = event_secs[day];
             if secs == 0.0 {
                 continue;
             }
@@ -123,14 +126,12 @@ pub fn table3(out: &SimOutput) -> Table3 {
 
     let n_attacked = attacked_letters.len();
     let mut bounds = Vec::new();
-    for day in 0..2 {
-        if event_secs[day] == 0.0 {
+    for (day, &day_secs) in event_secs.iter().enumerate() {
+        if day_secs == 0.0 {
             continue;
         }
-        let day_rows: Vec<&Table3Row> = rows
-            .iter()
-            .filter(|r| r.day == day && r.attacked)
-            .collect();
+        let day_rows: Vec<&Table3Row> =
+            rows.iter().filter(|r| r.day == day && r.attacked).collect();
         if day_rows.is_empty() {
             continue;
         }
@@ -148,7 +149,7 @@ pub fn table3(out: &SimOutput) -> Table3 {
         };
         bounds.push(DayBounds {
             day,
-            event_secs: event_secs[day],
+            event_secs: day_secs,
             lower_mqps,
             lower_gbps,
             scaled_mqps: lower_mqps * scale,
@@ -167,22 +168,36 @@ pub fn table3(out: &SimOutput) -> Table3 {
 
 impl Table3 {
     pub fn row(&self, letter: Letter, day: usize) -> Option<&Table3Row> {
-        self.rows.iter().find(|r| r.letter == letter && r.day == day)
+        self.rows
+            .iter()
+            .find(|r| r.letter == letter && r.day == day)
     }
 
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(
             "Table 3: RSSAC-002 event-size estimates",
             &[
-                "letter", "day", "attacked", "dQ Mq/s", "dQ Gb/s", "dR Mq/s", "dR Gb/s",
-                "M IPs", "ratio", "base Mq/s",
+                "letter",
+                "day",
+                "attacked",
+                "dQ Mq/s",
+                "dQ Gb/s",
+                "dR Mq/s",
+                "dR Gb/s",
+                "M IPs",
+                "ratio",
+                "base Mq/s",
             ],
         );
         for r in &self.rows {
             t.row(vec![
                 r.letter.to_string(),
                 r.day.to_string(),
-                if r.attacked { "yes".into() } else { "no".into() },
+                if r.attacked {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
                 num(r.dq_mqps, 2),
                 num(r.dq_gbps, 2),
                 num(r.dr_mqps, 2),
@@ -260,7 +275,12 @@ mod tests {
         // traffic (the exact ratio depends on how long resolvers take to
         // flip back after the event).
         let a = t3.row(Letter::A, 0).unwrap();
-        assert!(l.dq_mqps < a.dq_mqps * 0.5, "L {} vs A {}", l.dq_mqps, a.dq_mqps);
+        assert!(
+            l.dq_mqps < a.dq_mqps * 0.5,
+            "L {} vs A {}",
+            l.dq_mqps,
+            a.dq_mqps
+        );
     }
 
     #[test]
@@ -289,7 +309,12 @@ mod tests {
             a.dq_mqps
         );
         // But response *bytes* exceed query bytes (responses ~10x size).
-        assert!(a.dr_gbps > a.dq_gbps, "dR {} Gb/s vs dQ {}", a.dr_gbps, a.dq_gbps);
+        assert!(
+            a.dr_gbps > a.dq_gbps,
+            "dR {} Gb/s vs dQ {}",
+            a.dr_gbps,
+            a.dq_gbps
+        );
     }
 
     #[test]

@@ -192,10 +192,7 @@ mod tests {
         let fig = figure8(out);
         let k = fig.total(Letter::K);
         let m = fig.total(Letter::M);
-        assert!(
-            m < k,
-            "M (not attacked) flips {m} should be below K's {k}"
-        );
+        assert!(m < k, "M (not attacked) flips {m} should be below K's {k}");
     }
 
     #[test]

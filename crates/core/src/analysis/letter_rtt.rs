@@ -78,7 +78,14 @@ impl Figure4 {
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(
             "Figure 4: median RTT per letter (ms)",
-            &["letter", "baseline", "event peak", "factor", "plotted", "series"],
+            &[
+                "letter",
+                "baseline",
+                "event peak",
+                "factor",
+                "plotted",
+                "series",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

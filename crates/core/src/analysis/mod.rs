@@ -64,10 +64,7 @@ pub fn padded_event_windows(out: &SimOutput, pad: SimDuration) -> Vec<(SimTime, 
 /// when no event window intersects the series (e.g. a horizon that ends
 /// before the first attack) — callers render NaN as "no event observed"
 /// rather than reporting a fictitious extreme.
-pub fn min_during_events(
-    out: &SimOutput,
-    series: &rootcast_netsim::BinnedSeries,
-) -> f64 {
+pub fn min_during_events(out: &SimOutput, series: &rootcast_netsim::BinnedSeries) -> f64 {
     let mut min = f64::INFINITY;
     let mut seen = false;
     for (s, e) in padded_event_windows(out, SimDuration::from_mins(10)) {
@@ -86,10 +83,7 @@ pub fn min_during_events(
 
 /// A quiet-period baseline: the median over the pre-event hours
 /// (scenario start to first event).
-pub fn pre_event_baseline(
-    out: &SimOutput,
-    series: &rootcast_netsim::BinnedSeries,
-) -> f64 {
+pub fn pre_event_baseline(out: &SimOutput, series: &rootcast_netsim::BinnedSeries) -> f64 {
     let first = event_windows(out)
         .first()
         .map(|&(s, _)| s)

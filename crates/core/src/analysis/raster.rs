@@ -49,12 +49,7 @@ pub struct Figure11 {
 
 /// Build the raster for VPs that start at any of `start_codes`.
 /// `max_vps` bounds the sample (the paper uses 300).
-pub fn figure11(
-    out: &SimOutput,
-    letter: Letter,
-    start_codes: &[&str],
-    max_vps: usize,
-) -> Figure11 {
+pub fn figure11(out: &SimOutput, letter: Letter, start_codes: &[&str], max_vps: usize) -> Figure11 {
     let data = out.pipeline.letter(letter);
     let raster = data
         .raster

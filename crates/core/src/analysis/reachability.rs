@@ -64,16 +64,17 @@ pub fn figure3(out: &SimOutput) -> Figure3 {
         rows.push(LetterRow {
             letter,
             n_sites: out.deployments[i].n_sites(),
-            survival: if baseline > 0.0 { worst / baseline } else { f64::NAN },
+            survival: if baseline > 0.0 {
+                worst / baseline
+            } else {
+                f64::NAN
+            },
             series,
             baseline,
             worst,
         });
     }
-    let pairs: Vec<(f64, f64)> = rows
-        .iter()
-        .map(|r| (r.n_sites as f64, r.worst))
-        .collect();
+    let pairs: Vec<(f64, f64)> = rows.iter().map(|r| (r.n_sites as f64, r.worst)).collect();
     let attacked: std::collections::BTreeSet<Letter> = out
         .attack
         .windows()
@@ -143,7 +144,11 @@ mod tests {
         for l in [Letter::D, Letter::L, Letter::M] {
             assert!(get(l).survival > 0.9, "{l} survival {}", get(l).survival);
         }
-        assert!(get(Letter::B).survival < 0.5, "B {}", get(Letter::B).survival);
+        assert!(
+            get(Letter::B).survival < 0.5,
+            "B {}",
+            get(Letter::B).survival
+        );
         // B is the worst letter.
         assert_eq!(fig.worst_first()[0].letter, Letter::B);
     }

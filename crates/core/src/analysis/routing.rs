@@ -95,11 +95,7 @@ mod tests {
         let out = smoke();
         let fig = figure9(out);
         let event = fig.event_total(out);
-        let all: f64 = out
-            .letters
-            .iter()
-            .map(|&l| fig.total(l))
-            .sum();
+        let all: f64 = out.letters.iter().map(|&l| fig.total(l)).sum();
         assert!(all > 0.0);
         assert!(
             event / all > 0.5,

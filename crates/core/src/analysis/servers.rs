@@ -72,9 +72,7 @@ impl ServerPanel {
                 let half = s + (e - s) / 2;
                 self.counts
                     .iter()
-                    .filter(|(_, series)| {
-                        series.window(half, e).values().iter().sum::<f64>() > 0.0
-                    })
+                    .filter(|(_, series)| series.window(half, e).values().iter().sum::<f64>() > 0.0)
                     .map(|(&srv, _)| srv)
                     .collect()
             })
@@ -102,15 +100,17 @@ impl Figures12And13 {
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(
             "Figures 12/13: per-server reachability and RTT at watched sites",
-            &["site", "server", "total answers", "median rtt ms", "count series"],
+            &[
+                "site",
+                "server",
+                "total answers",
+                "median rtt ms",
+                "count series",
+            ],
         );
         for p in &self.panels {
             for (&srv, counts) in &p.counts {
-                let rtt = p
-                    .rtt_ms
-                    .get(&srv)
-                    .map(|s| s.median())
-                    .unwrap_or(f64::NAN);
+                let rtt = p.rtt_ms.get(&srv).map(|s| s.median()).unwrap_or(f64::NAN);
                 t.row(vec![
                     format!("{}-{}", p.letter, p.site),
                     format!("s{srv}"),

@@ -69,8 +69,18 @@ pub fn figure5(out: &SimOutput, letter: Letter) -> Figure5 {
 impl Figure5 {
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(
-            &format!("Figure 5: {}-root per-site min/max (normalized to median)", self.letter),
-            &["site", "median", "min/med", "max/med", "event min/med", "stable"],
+            &format!(
+                "Figure 5: {}-root per-site min/max (normalized to median)",
+                self.letter
+            ),
+            &[
+                "site",
+                "median",
+                "min/med",
+                "max/med",
+                "event min/med",
+                "stable",
+            ],
         );
         for r in &self.rows {
             t.row(vec![

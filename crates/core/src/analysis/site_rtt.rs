@@ -109,7 +109,10 @@ mod tests {
             ams.baseline_ms,
             peak
         );
-        assert!(peak > 500.0, "K-AMS peak {peak} ms should reach bufferbloat scale");
+        assert!(
+            peak > 500.0,
+            "K-AMS peak {peak} ms should reach bufferbloat scale"
+        );
     }
 
     #[test]

@@ -58,8 +58,8 @@ impl LetterDeployment {
 /// city. `salt` spreads different letters' sites in the same city over
 /// different hosts.
 pub fn host_in_city(graph: &AsGraph, city_code: &str, salt: u64) -> AsId {
-    let (city_id, _) = city_by_code(city_code)
-        .unwrap_or_else(|| panic!("unknown city code {city_code}"));
+    let (city_id, _) =
+        city_by_code(city_code).unwrap_or_else(|| panic!("unknown city code {city_code}"));
     let mut tier2: Vec<AsId> = Vec::new();
     let mut others: Vec<AsId> = Vec::new();
     for node in graph.nodes() {
@@ -105,8 +105,8 @@ fn customer_cone_size(graph: &AsGraph, root: AsId) -> usize {
 /// property of the deployment rather than an accident of the topology
 /// seed. Ties break on AS id, keeping the choice deterministic.
 pub fn host_in_city_by_cone(graph: &AsGraph, city_code: &str, largest: bool) -> AsId {
-    let (city_id, _) = city_by_code(city_code)
-        .unwrap_or_else(|| panic!("unknown city code {city_code}"));
+    let (city_id, _) =
+        city_by_code(city_code).unwrap_or_else(|| panic!("unknown city code {city_code}"));
     let mut tier2: Vec<AsId> = Vec::new();
     let mut others: Vec<AsId> = Vec::new();
     for node in graph.nodes() {
@@ -139,17 +139,10 @@ pub fn city_is_populated(graph: &AsGraph, city_code: &str) -> bool {
 }
 
 /// Shorthand for a site builder with a per-letter salt.
-fn site(
-    graph: &AsGraph,
-    letter: Letter,
-    code: &str,
-    ordinal: u64,
-    capacity_qps: f64,
-) -> SiteSpec {
+fn site(graph: &AsGraph, letter: Letter, code: &str, ordinal: u64, capacity_qps: f64) -> SiteSpec {
     let salt = (letter as u64) << 32 | ordinal;
     SiteSpec::global(code, host_in_city(graph, code, salt), capacity_qps)
 }
-
 
 /// A buffer sized to `seconds` of capacity — the bufferbloat dial. Two
 /// seconds of buffering reproduces K-AMS's RTT inflation to ~2 s.
@@ -173,8 +166,7 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
             .enumerate()
             .filter(|(_, c)| city_is_populated(graph, c))
             .map(|(i, c)| {
-                site(graph, letter, c, i as u64, capacity)
-                    .with_buffer(buffer_secs(capacity, 1.0))
+                site(graph, letter, c, i as u64, capacity).with_buffer(buffer_secs(capacity, 1.0))
             })
             .collect()
     };
@@ -193,8 +185,9 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
     // it a shallow buffer so overload drops rather than queues.
     out.push(LetterDeployment {
         letter: Letter::B,
-        sites: vec![site(graph, Letter::B, "LAX", 0, 350_000.0)
-            .with_buffer(buffer_secs(350_000.0, 0.05))],
+        sites: vec![
+            site(graph, Letter::B, "LAX", 0, 350_000.0).with_buffer(buffer_secs(350_000.0, 0.05))
+        ],
         rssac_capture: None,
     });
 
@@ -214,8 +207,8 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
     let mut d_sites = spread(
         Letter::D,
         &[
-            "IAD", "LGA", "ORD", "ATL", "SEA", "DEN", "DFW", "MIA", "YYZ", "LHR", "CDG",
-            "AMS", "VIE", "ARN", "GRU", "NRT", "HKG", "QPG",
+            "IAD", "LGA", "ORD", "ATL", "SEA", "DEN", "DFW", "MIA", "YYZ", "LHR", "CDG", "AMS",
+            "VIE", "ARN", "GRU", "NRT", "HKG", "QPG",
         ],
         350_000.0,
     );
@@ -227,10 +220,8 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
             .with_scope(Scope::Local)
             .with_facility(facilities::FRA_SHARED),
     );
-    d_sites.push(
-        site(graph, Letter::D, "SYD", 101, 350_000.0)
-            .with_facility(facilities::SYD_SHARED),
-    );
+    d_sites
+        .push(site(graph, Letter::D, "SYD", 101, 350_000.0).with_facility(facilities::SYD_SHARED));
     out.push(LetterDeployment {
         letter: Letter::D,
         sites: d_sites,
@@ -282,8 +273,8 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
         .enumerate()
         .filter(|(_, (c, _))| city_is_populated(graph, c))
         .map(|(i, &(code, cap))| {
-            let mut s = site(graph, Letter::E, code, i as u64, cap)
-                .with_buffer(buffer_secs(cap, 1.2));
+            let mut s =
+                site(graph, Letter::E, code, i as u64, cap).with_buffer(buffer_secs(cap, 1.2));
             if e_sticky.contains(&code) {
                 s = s.with_policy(StressPolicy::withdraw_after_episode(2));
             } else if e_local.contains(&code) {
@@ -304,16 +295,15 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
     // --- F (ISC): 5 global + many local sites; well provisioned.
     let f_global = ["PAO", "ORD", "LGA", "LHR", "HKG"];
     let f_local = [
-        "AMS", "CDG", "MAD", "ROM", "PRG", "ARN", "OSL", "HEL", "GRU", "EZE", "SCL",
-        "JNB", "NBO", "TPE", "ICN", "BKK", "YYZ", "MEX", "DUB",
+        "AMS", "CDG", "MAD", "ROM", "PRG", "ARN", "OSL", "HEL", "GRU", "EZE", "SCL", "JNB", "NBO",
+        "TPE", "ICN", "BKK", "YYZ", "MEX", "DUB",
     ];
     let mut f_sites: Vec<SiteSpec> = f_global
         .iter()
         .enumerate()
         .filter(|(_, c)| city_is_populated(graph, c))
         .map(|(i, &c)| {
-            site(graph, Letter::F, c, i as u64, 600_000.0)
-                .with_buffer(buffer_secs(600_000.0, 1.0))
+            site(graph, Letter::F, c, i as u64, 600_000.0).with_buffer(buffer_secs(600_000.0, 1.0))
         })
         .collect();
     f_sites.extend(
@@ -322,8 +312,7 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
             .enumerate()
             .filter(|(_, c)| city_is_populated(graph, c))
             .map(|(i, &c)| {
-                site(graph, Letter::F, c, 100 + i as u64, 150_000.0)
-                    .with_scope(Scope::Local)
+                site(graph, Letter::F, c, 100 + i as u64, 150_000.0).with_scope(Scope::Local)
             }),
     );
     out.push(LetterDeployment {
@@ -361,14 +350,12 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
     out.push(LetterDeployment {
         letter: Letter::H,
         sites: vec![
-            site(graph, Letter::H, "BWI", 0, 600_000.0).with_policy(
-                StressPolicy::Withdraw {
-                    overload_ratio: 2.0,
-                    sustain: SimDuration::from_mins(4),
-                    retry_after: Some(SimDuration::from_mins(20)),
-                    after_episodes: 1,
-                },
-            ),
+            site(graph, Letter::H, "BWI", 0, 600_000.0).with_policy(StressPolicy::Withdraw {
+                overload_ratio: 2.0,
+                sustain: SimDuration::from_mins(4),
+                retry_after: Some(SimDuration::from_mins(20)),
+                after_episodes: 1,
+            }),
             site(graph, Letter::H, "SAN", 1, 600_000.0).with_prepend(4),
         ],
         rssac_capture: Some(0.35),
@@ -380,9 +367,8 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
         sites: spread(
             Letter::I,
             &[
-                "ARN", "OSL", "CPH", "HEL", "AMS", "LHR", "FRA", "CDG", "MIL", "VIE",
-                "WAW", "MOW", "IAD", "ORD", "PAO", "MIA", "YYZ", "HKG", "NRT", "QPG",
-                "SYD", "JNB", "DXB", "GRU",
+                "ARN", "OSL", "CPH", "HEL", "AMS", "LHR", "FRA", "CDG", "MIL", "VIE", "WAW", "MOW",
+                "IAD", "ORD", "PAO", "MIA", "YYZ", "HKG", "NRT", "QPG", "SYD", "JNB", "DXB", "GRU",
             ],
             550_000.0,
         ),
@@ -396,9 +382,9 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
         sites: spread(
             Letter::J,
             &[
-                "IAD", "LGA", "ATL", "ORD", "DFW", "DEN", "SEA", "PAO", "LAX", "MIA",
-                "YYZ", "MEX", "GRU", "EZE", "LHR", "FRA", "AMS", "CDG", "MAD", "ARN",
-                "VIE", "PRG", "IST", "NRT", "ICN", "HKG", "QPG", "BOM", "SYD", "AKL",
+                "IAD", "LGA", "ATL", "ORD", "DFW", "DEN", "SEA", "PAO", "LAX", "MIA", "YYZ", "MEX",
+                "GRU", "EZE", "LHR", "FRA", "AMS", "CDG", "MAD", "ARN", "VIE", "PRG", "IST", "NRT",
+                "ICN", "HKG", "QPG", "BOM", "SYD", "AKL",
             ],
             650_000.0,
         ),
@@ -495,8 +481,8 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
             if !city_is_populated(graph, code) {
                 continue;
             }
-            let mut s = site(graph, Letter::K, code, 10 + i as u64, cap)
-                .with_buffer(buffer_secs(cap, 1.2));
+            let mut s =
+                site(graph, Letter::K, code, 10 + i as u64, cap).with_buffer(buffer_secs(cap, 1.2));
             if k_local.contains(&code) {
                 s = s.with_scope(Scope::Local);
             }
@@ -516,11 +502,11 @@ pub fn nov2015_deployments(graph: &AsGraph) -> Vec<LetterDeployment> {
         sites: spread(
             Letter::L,
             &[
-                "IAD", "LGA", "ATL", "ORD", "DFW", "DEN", "SEA", "PAO", "LAX", "MIA",
-                "YYZ", "YVR", "MEX", "BOG", "GRU", "EZE", "SCL", "LHR", "FRA", "AMS",
-                "CDG", "MAD", "BCN", "ROM", "ZRH", "VIE", "PRG", "WAW", "ARN", "HEL",
-                "IST", "MOW", "CAI", "JNB", "NBO", "LOS", "DXB", "TLV", "BOM", "DEL",
-                "BKK", "KUL", "QPG", "CGK", "HKG", "TPE", "ICN", "NRT", "SYD", "AKL",
+                "IAD", "LGA", "ATL", "ORD", "DFW", "DEN", "SEA", "PAO", "LAX", "MIA", "YYZ", "YVR",
+                "MEX", "BOG", "GRU", "EZE", "SCL", "LHR", "FRA", "AMS", "CDG", "MAD", "BCN", "ROM",
+                "ZRH", "VIE", "PRG", "WAW", "ARN", "HEL", "IST", "MOW", "CAI", "JNB", "NBO", "LOS",
+                "DXB", "TLV", "BOM", "DEL", "BKK", "KUL", "QPG", "CGK", "HKG", "TPE", "ICN", "NRT",
+                "SYD", "AKL",
             ],
             500_000.0,
         ),

@@ -1,0 +1,178 @@
+//! Fluid traffic windows: the per-minute core of the simulation.
+//!
+//! Each tick distributes attack + legitimate load over every service's
+//! current catchments (fanned out per letter on rayon), pushes it
+//! through the shared-facility links and per-site ingress queues, and
+//! runs stress policies. The offered loads are published to
+//! [`FluidScratch`](crate::engine::FluidScratch) for the accounting
+//! subsystem ticking at the same instant.
+
+use crate::engine::{SimWorld, Subsystem};
+use rayon::prelude::*;
+use rootcast_netsim::{SimDuration, SimTime};
+
+/// The fluid-model subsystem. Carries only its cadence; everything it
+/// produces lives in the world (queue states, policy state, scratch).
+#[derive(Debug)]
+pub struct FluidTraffic {
+    step: SimDuration,
+}
+
+impl FluidTraffic {
+    pub fn new(step: SimDuration) -> FluidTraffic {
+        FluidTraffic { step }
+    }
+}
+
+impl Subsystem for FluidTraffic {
+    fn name(&self) -> &'static str {
+        "fluid"
+    }
+
+    fn initial_wakeups(&mut self) -> Vec<SimTime> {
+        vec![SimTime::ZERO + self.step]
+    }
+
+    fn tick(&mut self, world: &mut SimWorld, t: SimTime) -> Vec<SimTime> {
+        let cfg = world.cfg;
+        let window_start = world.fluid.last_fluid;
+        let dt = t - window_start;
+
+        // 1. Offered load per service/site under current ribs — one
+        // independent task per service, merged in service order.
+        let (services, botnet, legit_weights, pop_weights, legit_shares) = (
+            &world.services,
+            &world.botnet,
+            &world.legit_weights,
+            &world.pop_weights,
+            &world.legit_shares,
+        );
+        let loads: Vec<(Vec<f64>, Vec<f64>)> = (0..services.len())
+            .into_par_iter()
+            .map(|i| {
+                let svc = &services[i];
+                if let Some(letter) = svc.letter {
+                    let atk_rate = cfg.attack.rate_for(letter, window_start);
+                    let atk = svc.offered_per_site(botnet.weights(), atk_rate);
+                    let leg = svc.offered_per_site(
+                        &legit_weights[i],
+                        cfg.legit_total_qps * legit_shares[letter as usize],
+                    );
+                    let sum: Vec<f64> = atk.iter().zip(&leg).map(|(a, b)| a + b).collect();
+                    (atk, sum)
+                } else {
+                    let leg = svc.offered_per_site(pop_weights, cfg.nl_qps);
+                    (vec![0.0; leg.len()], leg)
+                }
+            })
+            .collect();
+        let (offered_attack, offered): (Vec<_>, Vec<_>) = loads.into_iter().unzip();
+
+        // 2. Facility links first (shared risk), then site queues.
+        for (svc, off) in world.services.iter().zip(&offered) {
+            svc.stage_facility_load(off, &mut world.facility_table);
+        }
+        world.facility_table.advance(t);
+        for (svc, off) in world.services.iter_mut().zip(&offered) {
+            svc.advance_queues(t, off, &world.facility_table);
+        }
+
+        // Per-letter load and queue-depth instrumentation.
+        for (i, svc) in world.services.iter().enumerate() {
+            let Some(letter) = svc.letter else { continue };
+            let offered_total: f64 = offered[i].iter().sum();
+            let served_total: f64 = svc.served_per_site().iter().sum();
+            world
+                .obs
+                .on_letter_load(t, letter, offered_total, served_total);
+            for site in svc.sites() {
+                let delay = site.queue_delay();
+                if !delay.is_zero() {
+                    world.obs.on_queue_depth(t, letter, &site.spec.code, delay);
+                }
+            }
+        }
+
+        // 3. Stress policies; observe routing changes.
+        for i in 0..world.services.len() {
+            let changes = {
+                let svc = &mut world.services[i];
+                svc.apply_policies(t, &world.graph)
+            };
+            if !changes.is_empty() {
+                if let Some(letter) = world.services[i].letter {
+                    world.obs.on_policy_transition(t, letter, &changes);
+                }
+                world.observe_routes(t, i);
+            }
+        }
+
+        // Publish this window for the accounting subsystems.
+        world.fluid.offered = offered;
+        world.fluid.offered_attack = offered_attack;
+        world.fluid.window_start = window_start;
+        world.fluid.dt = dt;
+        world.fluid.last_fluid = t;
+
+        vec![t + self.step]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::engine::instrument::NoopInstrumentation;
+    use rootcast_netsim::SimRng;
+
+    #[test]
+    fn tick_publishes_scratch_and_fills_queues() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_mins(10);
+        cfg.pipeline.horizon = cfg.horizon;
+        let rngf = SimRng::new(cfg.seed);
+        let mut obs = NoopInstrumentation;
+        let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let mut fluid = FluidTraffic::new(cfg.fluid_step);
+
+        let t = SimTime::ZERO + cfg.fluid_step;
+        let next = fluid.tick(&mut world, t);
+        assert_eq!(next, vec![t + cfg.fluid_step]);
+        assert_eq!(world.fluid.last_fluid, t);
+        assert_eq!(world.fluid.window_start, SimTime::ZERO);
+        assert_eq!(world.fluid.dt, cfg.fluid_step);
+        assert_eq!(world.fluid.offered.len(), world.services.len());
+        // No attack at t=0, so offered loads are purely legitimate:
+        // every letter's total is positive and attack components zero.
+        for (i, svc) in world.services.iter().enumerate() {
+            let total: f64 = world.fluid.offered[i].iter().sum();
+            assert!(total > 0.0, "service {i} got no load");
+            if svc.letter.is_some() {
+                assert!(world.fluid.offered_attack[i].iter().all(|&a| a == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn offered_split_is_deterministic_across_thread_counts() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_mins(5);
+        cfg.pipeline.horizon = cfg.horizon;
+        let rngf = SimRng::new(cfg.seed);
+
+        let run_once = |threads: usize| -> Vec<Vec<f64>> {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let mut obs = NoopInstrumentation;
+                let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+                let mut fluid = FluidTraffic::new(cfg.fluid_step);
+                fluid.tick(&mut world, SimTime::ZERO + cfg.fluid_step);
+                world.fluid.offered.clone()
+            })
+        };
+        assert_eq!(run_once(1), run_once(4));
+    }
+}

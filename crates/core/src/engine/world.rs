@@ -1,0 +1,273 @@
+//! The shared simulation world: topology, services, traffic sources,
+//! measurement state, and the per-window fluid scratchpad that lets
+//! subsystems scheduled at the same instant hand results to each other.
+
+use crate::config::ScenarioConfig;
+use crate::deployment::{self, LetterDeployment};
+use crate::engine::instrument::Instrumentation;
+use crate::engine::probes::ServiceTarget;
+use rand::Rng;
+use rootcast_anycast::{AnycastService, FacilityTable};
+use rootcast_atlas::{
+    clean_fleet, execute_probe, CleaningReport, MeasurementPipeline, RawMeasurement, VpFleet,
+};
+use rootcast_attack::{population_weights, Botnet, ResolverPopulation};
+use rootcast_bgp::RouteCollector;
+use rootcast_dns::Letter;
+use rootcast_netsim::{BinnedSeries, SimDuration, SimRng, SimTime};
+use rootcast_rssac::{DailyReport, RssacCollector};
+use rootcast_topology::{gen, AsGraph, Tier};
+use std::collections::BTreeMap;
+
+/// Results of the most recent fluid window, published by
+/// [`FluidTraffic`](crate::engine::FluidTraffic) for the accounting
+/// subsystems that tick at the same instant.
+#[derive(Debug, Default)]
+pub struct FluidScratch {
+    /// Offered load (attack + legitimate) per service, per site, q/s.
+    pub offered: Vec<Vec<f64>>,
+    /// Attack-only component of `offered`.
+    pub offered_attack: Vec<Vec<f64>>,
+    /// Start of the window the loads applied over.
+    pub window_start: SimTime,
+    /// Width of that window.
+    pub dt: SimDuration,
+    /// End of the last completed fluid window (= next window's start).
+    pub last_fluid: SimTime,
+}
+
+/// Everything the subsystems read and mutate while a scenario runs.
+///
+/// The world owns simulation state only; per-subsystem state (probe
+/// wheels, churn schedules, byte-size tables) lives in the subsystems
+/// themselves. The `obs` observer is write-only instrumentation: it
+/// sees the run but cannot influence it.
+pub struct SimWorld<'a> {
+    pub cfg: &'a ScenarioConfig,
+    pub rng_factory: &'a SimRng,
+    pub graph: AsGraph,
+    /// The 13 root letters, in service order.
+    pub letters: Vec<Letter>,
+    /// One service per letter, plus `.nl` at `nl_index` if enabled.
+    pub services: Vec<AnycastService>,
+    pub nl_index: Option<usize>,
+    pub facility_table: FacilityTable,
+    pub botnet: Botnet,
+    pub pop_weights: Vec<f64>,
+    pub resolvers: ResolverPopulation,
+    /// Cached per-letter legitimate weight vectors (refreshed by the
+    /// resolver subsystem). `offered_per_site` normalizes its weight
+    /// vector, so each letter's *total* rate is scaled by the
+    /// aggregate shares separately.
+    pub legit_weights: Vec<Vec<f64>>,
+    pub legit_shares: [f64; 13],
+    /// Converged pre-event shares, frozen once the first attack window
+    /// opens — the analogue of the paper's 7-day RSSAC baseline.
+    pub baseline_shares: [f64; 13],
+    pub first_attack: SimTime,
+    pub fleet: VpFleet,
+    pub cleaning: CleaningReport,
+    pub pipeline: MeasurementPipeline,
+    pub collectors: BTreeMap<Letter, RouteCollector>,
+    pub rssac: BTreeMap<Letter, RssacCollector>,
+    /// Synthesized pre-event baseline (7-day mean) per reporting
+    /// letter, filled by the accounting subsystem's finish step.
+    pub rssac_baseline: BTreeMap<Letter, DailyReport>,
+    /// Attack / legitimate queries per (reporting letter, day), for
+    /// unique-source estimation after the run.
+    pub attack_queries_by_day: BTreeMap<Letter, Vec<f64>>,
+    pub legit_queries_by_day: BTreeMap<Letter, Vec<f64>>,
+    /// Served-query series per `.nl` site.
+    pub nl_series: Vec<BinnedSeries>,
+    pub deployments: Vec<LetterDeployment>,
+    pub fluid: FluidScratch,
+    pub obs: &'a mut dyn Instrumentation,
+}
+
+impl<'a> SimWorld<'a> {
+    /// Build the full world for `cfg`: topology, deployments, traffic
+    /// sources, the calibrated-and-cleaned VP fleet, and all
+    /// accounting state, exactly as of `SimTime::ZERO`.
+    pub fn build(
+        cfg: &'a ScenarioConfig,
+        rng_factory: &'a SimRng,
+        obs: &'a mut dyn Instrumentation,
+    ) -> SimWorld<'a> {
+        let graph = gen::generate(&cfg.topology, rng_factory);
+        let n_ases = graph.len();
+
+        let deployments = deployment::nov2015_deployments(&graph);
+        let mut services: Vec<AnycastService> = deployments
+            .iter()
+            .map(|d| {
+                AnycastService::new(
+                    &format!("{}-root", d.letter),
+                    Some(d.letter),
+                    &graph,
+                    d.sites.clone(),
+                )
+            })
+            .collect();
+        let letters: Vec<Letter> = deployments.iter().map(|d| d.letter).collect();
+        let nl_index = if cfg.include_nl {
+            services.push(AnycastService::new(
+                ".nl anycast",
+                None,
+                &graph,
+                deployment::nl_deployment(&graph),
+            ));
+            Some(services.len() - 1)
+        } else {
+            None
+        };
+
+        let mut facility_table = FacilityTable::new();
+        for &(fid, cap) in &cfg.facility_capacities {
+            facility_table.register(fid, cap, cap * 0.5);
+        }
+
+        let botnet = Botnet::generate(&graph, cfg.botnet.clone(), rng_factory);
+        let pop_weights = population_weights(&graph);
+        let resolvers = ResolverPopulation::new(n_ases);
+        let legit_weights: Vec<Vec<f64>> = letters
+            .iter()
+            .map(|&l| resolvers.letter_weights(l, &pop_weights))
+            .collect();
+        let legit_shares = resolvers.aggregate_shares(&pop_weights);
+        let first_attack = cfg
+            .attack
+            .windows()
+            .first()
+            .map(|w| w.start)
+            .unwrap_or(SimTime::MAX);
+
+        let fleet = VpFleet::generate(&graph, &cfg.fleet, rng_factory);
+        // Calibration pass: one probe per (VP, letter) to feed hijack
+        // detection, exactly how the paper's cleaning classifies VPs.
+        let mut calibration: Vec<RawMeasurement> = Vec::with_capacity(fleet.len() * letters.len());
+        {
+            let mut cal_rng = rng_factory.stream("calibration");
+            for vp in fleet.iter() {
+                for (si, _) in letters.iter().enumerate() {
+                    let target = ServiceTarget { svc: &services[si] };
+                    calibration.push(execute_probe(vp, &target, SimTime::ZERO, &mut cal_rng));
+                }
+            }
+        }
+        let cleaning = clean_fleet(&fleet, &calibration);
+
+        let mut pipeline = MeasurementPipeline::new(cfg.pipeline.clone(), fleet.len());
+        for (i, &letter) in letters.iter().enumerate() {
+            let codes: Vec<String> = services[i]
+                .sites()
+                .iter()
+                .map(|s| s.spec.code.clone())
+                .collect();
+            pipeline.register_letter(letter, codes);
+        }
+
+        let mut collectors: BTreeMap<Letter, RouteCollector> = BTreeMap::new();
+        {
+            let mut rng = rng_factory.stream("bgpmon");
+            let stubs = graph.by_tier(Tier::Stub);
+            let peers: Vec<_> = (0..cfg.n_collector_peers)
+                .map(|_| stubs[rng.gen_range(0..stubs.len())])
+                .collect();
+            for (i, &letter) in letters.iter().enumerate() {
+                let mut c = RouteCollector::new(peers.clone());
+                c.prime(services[i].rib());
+                collectors.insert(letter, c);
+            }
+        }
+
+        let n_days = (cfg.horizon.as_secs() / 86_400).max(1) as usize;
+        let mut rssac: BTreeMap<Letter, RssacCollector> = BTreeMap::new();
+        for d in &deployments {
+            if let Some(capture) = d.rssac_capture {
+                rssac.insert(d.letter, RssacCollector::new(d.letter, n_days, capture));
+            }
+        }
+        let attack_queries_by_day: BTreeMap<Letter, Vec<f64>> =
+            rssac.keys().map(|&l| (l, vec![0.0; n_days])).collect();
+        let legit_queries_by_day: BTreeMap<Letter, Vec<f64>> =
+            rssac.keys().map(|&l| (l, vec![0.0; n_days])).collect();
+
+        let bin = cfg.pipeline.bin;
+        let n_bins = (cfg.horizon.as_nanos() / bin.as_nanos()) as usize;
+        let nl_series: Vec<BinnedSeries> = nl_index
+            .map(|i| {
+                services[i]
+                    .sites()
+                    .iter()
+                    .map(|_| BinnedSeries::zeros(bin, n_bins))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        SimWorld {
+            cfg,
+            rng_factory,
+            graph,
+            letters,
+            services,
+            nl_index,
+            facility_table,
+            botnet,
+            pop_weights,
+            resolvers,
+            legit_weights,
+            baseline_shares: legit_shares,
+            legit_shares,
+            first_attack,
+            fleet,
+            cleaning,
+            pipeline,
+            collectors,
+            rssac,
+            rssac_baseline: BTreeMap::new(),
+            attack_queries_by_day,
+            legit_queries_by_day,
+            nl_series,
+            deployments,
+            fluid: FluidScratch::default(),
+            obs,
+        }
+    }
+
+    /// Record a routing change with the letter's BGPmon-style collector
+    /// (no-op for services without a collector, e.g. `.nl`).
+    pub fn observe_routes(&mut self, t: SimTime, svc_idx: usize) {
+        let svc = &self.services[svc_idx];
+        if let Some(letter) = svc.letter {
+            if let Some(c) = self.collectors.get_mut(&letter) {
+                c.observe(t, svc.rib());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::instrument::NoopInstrumentation;
+
+    #[test]
+    fn build_wires_all_letters_and_nl() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_mins(30);
+        cfg.pipeline.horizon = cfg.horizon;
+        let rngf = SimRng::new(cfg.seed);
+        let mut obs = NoopInstrumentation;
+        let world = SimWorld::build(&cfg, &rngf, &mut obs);
+        assert_eq!(world.letters.len(), 13);
+        assert_eq!(world.services.len(), 14); // 13 letters + .nl
+        assert_eq!(world.nl_index, Some(13));
+        assert_eq!(world.collectors.len(), 13);
+        assert_eq!(world.rssac.len(), 5);
+        assert_eq!(world.nl_series.len(), 2);
+        assert!(world.cleaning.kept_count() > 0);
+        // The scratchpad starts empty at t=0.
+        assert_eq!(world.fluid.last_fluid, SimTime::ZERO);
+        assert!(world.fluid.offered.is_empty());
+    }
+}

@@ -20,13 +20,17 @@
 //! ```
 
 pub mod analysis;
+pub mod config;
 pub mod deployment;
+pub mod engine;
 pub mod policy_model;
 pub mod render;
 pub mod sim;
 
+pub use config::ScenarioConfig;
 pub use deployment::{nl_deployment, nov2015_deployments, LetterDeployment};
-pub use sim::{run, ScenarioConfig, SimOutput};
+pub use engine::{Instrumentation, NoopInstrumentation, RunStats, Subsystem};
+pub use sim::{run, run_observed, SimOutput};
 
 // Re-export the vocabulary types users need to consume the outputs.
 pub use rootcast_dns::Letter;

@@ -208,9 +208,7 @@ impl Strategy {
         match self {
             Strategy::Absorb => d.clone(),
             Strategy::WithdrawIsp1ToS2 => d.with_group_moved(1, 1),
-            Strategy::WithdrawSmallSites => {
-                d.with_site_withdrawn(0, 2).with_site_withdrawn(1, 2)
-            }
+            Strategy::WithdrawSmallSites => d.with_site_withdrawn(0, 2).with_site_withdrawn(1, 2),
             Strategy::RerouteIsp1ToS3 => d.with_group_moved(1, 2),
         }
     }
@@ -249,7 +247,10 @@ pub fn paper_cases() -> Vec<CaseOutcome> {
         .iter()
         .map(|&(case, a0, a1)| {
             let d = paper_deployment(1.0, a0, a1);
-            let happiness = Strategy::ALL.iter().map(|s| s.apply(&d).happiness()).collect();
+            let happiness = Strategy::ALL
+                .iter()
+                .map(|s| s.apply(&d).happiness())
+                .collect();
             CaseOutcome {
                 case,
                 a0,
@@ -345,9 +346,7 @@ mod tests {
         // §2.2: "although perhaps counterintuitive, less can be more" —
         // withdrawing a route (serving with FEWER sites) increases H.
         let d = paper_deployment(1.0, 0.7, 0.7);
-        assert!(
-            Strategy::WithdrawIsp1ToS2.apply(&d).happiness() > d.happiness()
-        );
+        assert!(Strategy::WithdrawIsp1ToS2.apply(&d).happiness() > d.happiness());
     }
 
     #[test]

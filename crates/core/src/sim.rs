@@ -1,152 +1,47 @@
-//! The scenario driver: wires topology, routing, services, attack,
-//! measurement, and reporting into one deterministic simulation of the
-//! Nov 30 – Dec 1 2015 events (or any variant).
+//! The scenario driver: a thin builder over the subsystem
+//! [`engine`](crate::engine).
 //!
 //! ## Structure of a run
 //!
-//! The driver interleaves three activities on the shared event queue:
+//! [`run`] builds a [`SimWorld`](crate::engine::SimWorld) (topology,
+//! services, traffic sources, the calibrated VP fleet) and drives five
+//! subsystems against it on one deterministic schedule:
 //!
-//! * **Fluid steps** (every minute): distribute attack + legitimate
-//!   load over each service's current catchments, push it through the
-//!   shared-facility links and per-site ingress queues, let stress
-//!   policies withdraw/re-announce routes, and account RSSAC traffic.
-//! * **Probe ticks** (every minute): the Atlas fleet's wheel — each
-//!   (VP, letter) pair probes on its own phase of the letter's probing
-//!   interval (4 min; 30 min for A-root, §2.4.1), producing cleaned
-//!   observations for the measurement pipeline.
-//! * **Resolver updates** (every 10 min): recursive resolvers re-weight
-//!   their letter preferences from current RTT/loss — the letter-flip
-//!   mechanism (§3.2.2).
+//! * [`FluidTraffic`](crate::engine::FluidTraffic) (every minute):
+//!   distribute attack + legitimate load over each service's current
+//!   catchments, push it through the shared-facility links and per-site
+//!   ingress queues, and let stress policies withdraw/re-announce.
+//! * [`RssacAccounting`](crate::engine::RssacAccounting) (same cadence,
+//!   ticking after the fluid step): RSSAC byte/query accounting and the
+//!   `.nl` served-rate series.
+//! * [`ProbeWheel`](crate::engine::ProbeWheel) (every minute): the
+//!   Atlas fleet's wheel — each (VP, letter) pair probes on its own
+//!   phase of the letter's probing interval (§2.4.1).
+//! * [`ResolverRefresh`](crate::engine::ResolverRefresh) (every
+//!   10 min): resolvers re-weight letter preferences from current
+//!   RTT/loss — the letter-flip mechanism (§3.2.2).
+//! * [`MaintenanceChurn`](crate::engine::MaintenanceChurn): background
+//!   operator maintenance noise.
 //!
-//! Everything is deterministic in the scenario seed.
+//! Everything is deterministic in the scenario seed, at any rayon
+//! thread count.
 
-use crate::deployment::{self, facilities, LetterDeployment};
-use rootcast_anycast::{AnycastService, FacilityTable, SiteIdx};
-use rootcast_atlas::{
-    clean_fleet, clean_outcome, execute_probe, ChaosTarget, CleaningReport, FleetParams,
-    MeasurementPipeline, PipelineConfig, RawMeasurement, TargetView, VpFleet,
+use crate::deployment::{self, LetterDeployment};
+use crate::engine::{
+    drive, FluidTraffic, Instrumentation, MaintenanceChurn, ProbeWheel, ResolverRefresh,
+    RssacAccounting, RunStats, SimWorld, StatsCollector, Subsystem,
 };
-use rootcast_attack::{
-    population_weights, AttackSchedule, Botnet, BotnetParams, LetterObservation,
-    ResolverPopulation, DEFAULT_LEGIT_TOTAL_QPS,
-};
+use rootcast_anycast::AnycastService;
+use rootcast_atlas::{CleaningReport, MeasurementPipeline};
+use rootcast_attack::{AttackSchedule, Botnet};
 use rootcast_bgp::RouteCollector;
-use rootcast_dns::rrl::blended_suppression;
-use rootcast_dns::{Letter, Message, Name, RootZone, RrClass, RrType};
-use rootcast_netsim::rng::exp_sample;
-use rootcast_netsim::{
-    BinnedSeries, EventQueue, SimDuration, SimRng, SimTime,
-};
+use rootcast_dns::Letter;
+use rootcast_netsim::{BinnedSeries, SimDuration, SimRng, SimTime};
 use rootcast_rssac::{DailyReport, RssacCollector};
-use rootcast_topology::{gen, AsId, Tier, TopologyParams};
-use rand::Rng;
+use rootcast_topology::gen;
 use std::collections::BTreeMap;
 
-/// Full scenario configuration.
-#[derive(Debug, Clone)]
-pub struct ScenarioConfig {
-    pub seed: u64,
-    pub topology: TopologyParams,
-    pub fleet: FleetParams,
-    pub botnet: BotnetParams,
-    pub attack: AttackSchedule,
-    /// Analysis horizon (the paper's window: 48 h from Nov 30 00:00).
-    pub horizon: SimTime,
-    /// Fluid model step; must divide the probe wheel minute.
-    pub fluid_step: SimDuration,
-    /// Probe interval for every letter except A.
-    pub probe_interval: SimDuration,
-    /// A-root's (slower) probe interval at event time.
-    pub a_probe_interval: SimDuration,
-    /// Total legitimate root-query load across all letters, q/s.
-    pub legit_total_qps: f64,
-    /// Resolver preference refresh period.
-    pub resolver_update: SimDuration,
-    pub pipeline: PipelineConfig,
-    /// Number of BGPmon-style collector peers (paper: 152).
-    pub n_collector_peers: usize,
-    /// Capacity of each shared facility link, q/s: (facility, capacity).
-    pub facility_capacities: Vec<(rootcast_anycast::FacilityId, f64)>,
-    /// Mean time between background maintenance withdrawals (route
-    /// churn noise visible in Figure 9 outside the events); None = off.
-    pub maintenance_mean: Option<SimDuration>,
-    /// Include the .nl collateral-damage service.
-    pub include_nl: bool,
-    /// Legitimate .nl query load, q/s (both anycast sites combined).
-    pub nl_qps: f64,
-}
-
-impl ScenarioConfig {
-    /// The canonical full-scale reproduction: 48 h, ~9300 VPs, 5 Mq/s
-    /// per attacked letter.
-    pub fn nov2015() -> ScenarioConfig {
-        ScenarioConfig {
-            seed: 20151130,
-            topology: TopologyParams::default(),
-            fleet: FleetParams::default(),
-            botnet: BotnetParams::default(),
-            attack: AttackSchedule::nov2015(5_000_000.0),
-            horizon: SimTime::from_hours(48),
-            fluid_step: SimDuration::from_mins(1),
-            probe_interval: SimDuration::from_mins(4),
-            a_probe_interval: SimDuration::from_mins(30),
-            legit_total_qps: DEFAULT_LEGIT_TOTAL_QPS,
-            resolver_update: SimDuration::from_mins(10),
-            pipeline: PipelineConfig::paper_default(),
-            n_collector_peers: 152,
-            facility_capacities: vec![
-                // Tuned against the canonical seed's attack exposure so
-                // the Frankfurt link saturates once K-LHR's catchment
-                // shifts into K-FRA, and Sydney saturates under E-SYD's
-                // exposure — the couplings behind Figures 14 and 15.
-                (facilities::FRA_SHARED, 95_000.0),
-                (facilities::SYD_SHARED, 30_000.0),
-            ],
-            maintenance_mean: Some(SimDuration::from_mins(90)),
-            include_nl: true,
-            nl_qps: 80_000.0,
-        }
-    }
-
-    /// A scaled-down configuration for tests and fast iteration: small
-    /// topology, few hundred VPs, 12-hour horizon (covers event 1).
-    pub fn small() -> ScenarioConfig {
-        let mut cfg = ScenarioConfig::nov2015();
-        cfg.topology = TopologyParams {
-            n_tier1: 6,
-            n_tier2: 30,
-            n_stub: 400,
-            ..TopologyParams::default()
-        };
-        cfg.fleet = FleetParams::tiny(400);
-        cfg.botnet.n_members = 120;
-        cfg.horizon = SimTime::from_hours(12);
-        cfg.pipeline.horizon = cfg.horizon;
-        cfg.pipeline.rtt_subsample = 2;
-        cfg
-    }
-}
-
-/// Adapter exposing an [`AnycastService`] as a probe target.
-struct ServiceTarget<'a> {
-    svc: &'a AnycastService,
-}
-
-impl ChaosTarget for ServiceTarget<'_> {
-    fn letter(&self) -> Letter {
-        self.svc.letter.expect("root service has a letter")
-    }
-
-    fn view(&self, asn: AsId, client_hash: u64) -> Option<TargetView> {
-        let pv = self.svc.probe_view(asn, client_hash)?;
-        Some(TargetView {
-            site_code: self.svc.site(pv.site).spec.code.clone(),
-            server: pv.server,
-            rtt: pv.rtt,
-            drop_prob: pv.drop_prob,
-        })
-    }
-}
+pub use crate::config::ScenarioConfig;
 
 /// Everything a finished run hands to the analysis layer.
 pub struct SimOutput {
@@ -168,507 +63,56 @@ pub struct SimOutput {
     pub probe_interval: SimDuration,
     /// A-root's (slower) probe interval.
     pub a_probe_interval: SimDuration,
+    /// Engine instrumentation summary (tick counts, wall time, load
+    /// extremes). Empty when the run used a custom observer.
+    pub run_stats: RunStats,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ev {
-    /// Fluid model step.
-    Fluid,
-    /// Probe wheel tick (minute granularity).
-    Probes,
-    /// Resolver preference refresh.
-    Resolvers,
-    /// Background maintenance withdrawal.
-    Maintenance,
-    /// Re-announce after maintenance: (service index, site index).
-    MaintenanceEnd(usize, SiteIdx),
-}
-
-/// Run the scenario to completion.
+/// Run the scenario to completion with the default stats-collecting
+/// observer.
 pub fn run(cfg: &ScenarioConfig) -> SimOutput {
-    assert_eq!(
-        cfg.probe_interval.as_secs() % 60,
-        0,
-        "probe interval must be whole minutes"
-    );
-    assert_eq!(cfg.a_probe_interval.as_secs() % 60, 0);
+    let mut stats = StatsCollector::default();
+    let mut out = run_observed(cfg, &mut stats);
+    out.run_stats = stats.finish();
+    out
+}
+
+/// Run the scenario with a caller-supplied [`Instrumentation`]
+/// observer. The observer sees the run but cannot influence it: outputs
+/// are bit-identical for any observer.
+pub fn run_observed(cfg: &ScenarioConfig, obs: &mut dyn Instrumentation) -> SimOutput {
     let rng_factory = SimRng::new(cfg.seed);
-    let graph = gen::generate(&cfg.topology, &rng_factory);
-    let n_ases = graph.len();
+    let mut world = SimWorld::build(cfg, &rng_factory, obs);
 
-    // --- Services -------------------------------------------------------
-    let deployments = deployment::nov2015_deployments(&graph);
-    let mut services: Vec<AnycastService> = deployments
-        .iter()
-        .map(|d| {
-            AnycastService::new(
-                &format!("{}-root", d.letter),
-                Some(d.letter),
-                &graph,
-                d.sites.clone(),
-            )
-        })
-        .collect();
-    let letters: Vec<Letter> = deployments.iter().map(|d| d.letter).collect();
-    let nl_index = if cfg.include_nl {
-        services.push(AnycastService::new(
-            ".nl anycast",
-            None,
-            &graph,
-            deployment::nl_deployment(&graph),
-        ));
-        Some(services.len() - 1)
-    } else {
-        None
-    };
+    // Seeding order is the same-instant tie-break: accounting must
+    // follow the fluid step whose window it settles.
+    let mut subsystems: Vec<Box<dyn Subsystem>> = vec![
+        Box::new(FluidTraffic::new(cfg.fluid_step)),
+        Box::new(RssacAccounting::new(cfg)),
+        Box::new(ProbeWheel::new(&world)),
+        Box::new(ResolverRefresh::new(cfg.resolver_update)),
+        Box::new(MaintenanceChurn::new(
+            rng_factory.stream("maintenance"),
+            cfg.maintenance_mean,
+        )),
+    ];
+    drive(&mut world, &mut subsystems, cfg.horizon);
+    world.pipeline.finalize();
 
-    let mut facility_table = FacilityTable::new();
-    for &(fid, cap) in &cfg.facility_capacities {
-        facility_table.register(fid, cap, cap * 0.5);
-    }
-
-    // --- Traffic sources -------------------------------------------------
-    let botnet = Botnet::generate(&graph, cfg.botnet.clone(), &rng_factory);
-    let pop_weights = population_weights(&graph);
-    let mut resolvers = ResolverPopulation::new(n_ases);
-    // Cached per-letter legitimate weight vectors and aggregate letter
-    // shares (refreshed on resolver updates). `offered_per_site`
-    // normalizes its weight vector, so the letter's *total* legitimate
-    // rate must be scaled by its aggregate share separately.
-    let mut legit_weights: Vec<Vec<f64>> = letters
-        .iter()
-        .map(|&l| resolvers.letter_weights(l, &pop_weights))
-        .collect();
-    let mut legit_shares: [f64; 13] = resolvers.aggregate_shares(&pop_weights);
-    // Snapshot of the converged pre-event shares; frozen once the first
-    // attack window opens. This is the analogue of the paper's 7-day
-    // baseline: each letter's *normal* query share, which is RTT-shaped
-    // (distant letters like B and H receive less resolver traffic).
-    let mut baseline_shares = legit_shares;
-    let first_attack = cfg
-        .attack
-        .windows()
-        .first()
-        .map(|w| w.start)
-        .unwrap_or(SimTime::MAX);
-
-    // --- Measurement -----------------------------------------------------
-    let fleet = VpFleet::generate(&graph, &cfg.fleet, &rng_factory);
-    // Calibration pass: one probe per (VP, letter) to feed hijack
-    // detection, exactly how the paper's cleaning classifies VPs.
-    let mut calibration: Vec<RawMeasurement> = Vec::with_capacity(fleet.len() * letters.len());
-    {
-        let mut cal_rng = rng_factory.stream("calibration");
-        for vp in fleet.iter() {
-            for (si, _) in letters.iter().enumerate() {
-                let target = ServiceTarget {
-                    svc: &services[si],
-                };
-                calibration.push(execute_probe(vp, &target, SimTime::ZERO, &mut cal_rng));
-            }
-        }
-    }
-    let cleaning = clean_fleet(&fleet, &calibration);
-    let excluded = cleaning.excluded_set();
-
-    let mut pipeline = MeasurementPipeline::new(cfg.pipeline.clone(), fleet.len());
-    for (i, &letter) in letters.iter().enumerate() {
-        let codes: Vec<String> = services[i]
-            .sites()
-            .iter()
-            .map(|s| s.spec.code.clone())
-            .collect();
-        pipeline.register_letter(letter, codes);
-    }
-
-    // --- Route collectors (BGPmon) ----------------------------------------
-    let mut collectors: BTreeMap<Letter, RouteCollector> = BTreeMap::new();
-    {
-        let mut rng = rng_factory.stream("bgpmon");
-        let stubs = graph.by_tier(Tier::Stub);
-        let peers: Vec<AsId> = (0..cfg.n_collector_peers)
-            .map(|_| stubs[rng.gen_range(0..stubs.len())])
-            .collect();
-        for (i, &letter) in letters.iter().enumerate() {
-            let mut c = RouteCollector::new(peers.clone());
-            c.prime(services[i].rib());
-            collectors.insert(letter, c);
-        }
-    }
-
-    // --- RSSAC ------------------------------------------------------------
-    let n_days = (cfg.horizon.as_secs() / 86_400).max(1) as usize;
-    let mut rssac: BTreeMap<Letter, RssacCollector> = BTreeMap::new();
-    for d in &deployments {
-        if let Some(capture) = d.rssac_capture {
-            rssac.insert(d.letter, RssacCollector::new(d.letter, n_days, capture));
-        }
-    }
-    // Attack queries offered per (reporting letter, day) — for unique-
-    // source estimation at the end.
-    let mut attack_queries_by_day: BTreeMap<Letter, Vec<f64>> = rssac
-        .keys()
-        .map(|&l| (l, vec![0.0; n_days]))
-        .collect();
-    // Legit queries per (reporting letter, day).
-    let mut legit_queries_by_day: BTreeMap<Letter, Vec<f64>> = rssac
-        .keys()
-        .map(|&l| (l, vec![0.0; n_days]))
-        .collect();
-
-    // Packet sizes from real encodings (Table 3's byte accounting).
-    let zone = RootZone::nov2015();
-    let attack_sizes: Vec<(SimTime, usize, usize)> = cfg
-        .attack
-        .windows()
-        .iter()
-        .map(|w| {
-            let q = Message::query(
-                0,
-                Name::parse(&w.qname).expect("valid attack qname"),
-                RrType::A,
-                RrClass::In,
-            );
-            let qsize = q.wire_size();
-            let rsize = zone.answer(&q).wire_size();
-            (w.start, qsize, rsize)
-        })
-        .collect();
-    let legit_query_size: usize = {
-        let q = Message::query(
-            0,
-            Name::parse("www.example.com").expect("static"),
-            RrType::A,
-            RrClass::In,
-        );
-        q.wire_size() + 11 // typical EDNS0 OPT
-    };
-    let legit_response_size: usize = {
-        let q = Message::query(
-            0,
-            Name::parse("www.example.com").expect("static"),
-            RrType::A,
-            RrClass::In,
-        );
-        zone.answer(&q).wire_size() + 11
-    };
-
-    // --- .nl bookkeeping ---------------------------------------------------
-    let bin = cfg.pipeline.bin;
-    let n_bins = (cfg.horizon.as_nanos() / bin.as_nanos()) as usize;
-    let mut nl_series: Vec<BinnedSeries> = nl_index
-        .map(|i| {
-            services[i]
-                .sites()
-                .iter()
-                .map(|_| BinnedSeries::zeros(bin, n_bins))
-                .collect()
-        })
-        .unwrap_or_default();
-
-    // --- Event loop ---------------------------------------------------------
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    queue.schedule(SimTime::ZERO + cfg.fluid_step, Ev::Fluid);
-    queue.schedule(SimTime::ZERO + SimDuration::from_mins(1), Ev::Probes);
-    queue.schedule(SimTime::ZERO + cfg.resolver_update, Ev::Resolvers);
-    let mut maint_rng = rng_factory.stream("maintenance");
-    if let Some(mean) = cfg.maintenance_mean {
-        let dt = SimDuration::from_secs_f64(exp_sample(&mut maint_rng, 1.0 / mean.as_secs_f64()));
-        queue.schedule(SimTime::ZERO + dt, Ev::Maintenance);
-    }
-
-    let mut last_fluid = SimTime::ZERO;
-    let interval_minutes = cfg.probe_interval.as_secs() / 60;
-    let a_interval_minutes = cfg.a_probe_interval.as_secs() / 60;
-    // Precomputed probe wheel: for each minute slot (mod the interval
-    // cycle), the (vp index, letter index) pairs due to probe. Avoids
-    // re-deriving every pair's phase on every tick — the full scenario
-    // would otherwise evaluate ~350 M phase checks.
-    let wheel_period = lcm(interval_minutes.max(1), a_interval_minutes.max(1)) as usize;
-    let mut wheel: Vec<Vec<(u32, usize)>> = vec![Vec::new(); wheel_period];
-    for vp in fleet.iter() {
-        if excluded.contains(&vp.id) {
-            continue;
-        }
-        for (i, &letter) in letters.iter().enumerate() {
-            let interval = if letter == Letter::A {
-                a_interval_minutes
-            } else {
-                interval_minutes
-            };
-            let phase = (u64::from(vp.id.0)
-                .wrapping_mul(0x9E37_79B9)
-                .wrapping_add(letter as u64 * 7))
-                % interval;
-            let mut slot = phase as usize;
-            while slot < wheel_period {
-                wheel[slot].push((vp.id.0, i));
-                slot += interval as usize;
-            }
-        }
-    }
-
-    while let Some((t, ev)) = queue.pop_until(cfg.horizon) {
-        match ev {
-            Ev::Fluid => {
-                let dt = t - last_fluid;
-                // 1. Offered load per service/site under current ribs.
-                let mut offered: Vec<Vec<f64>> = Vec::with_capacity(services.len());
-                let mut offered_attack: Vec<Vec<f64>> = Vec::with_capacity(services.len());
-                for (i, svc) in services.iter().enumerate() {
-                    if let Some(letter) = svc.letter {
-                        let atk_rate = cfg.attack.rate_for(letter, last_fluid);
-                        let atk = svc.offered_per_site(botnet.weights(), atk_rate);
-                        let leg = svc.offered_per_site(
-                            &legit_weights[i],
-                            cfg.legit_total_qps * legit_shares[letter as usize],
-                        );
-                        let sum: Vec<f64> =
-                            atk.iter().zip(&leg).map(|(a, b)| a + b).collect();
-                        offered_attack.push(atk);
-                        offered.push(sum);
-                    } else {
-                        let leg = svc.offered_per_site(&pop_weights, cfg.nl_qps);
-                        offered_attack.push(vec![0.0; leg.len()]);
-                        offered.push(leg);
-                    }
-                }
-                // 2. Facility links first (shared risk), then site queues.
-                for (svc, off) in services.iter().zip(&offered) {
-                    svc.stage_facility_load(off, &mut facility_table);
-                }
-                facility_table.advance(t);
-                for (svc, off) in services.iter_mut().zip(&offered) {
-                    svc.advance_queues(t, off, &facility_table);
-                }
-                // 3. Stress policies; observe routing changes.
-                for (i, svc) in services.iter_mut().enumerate() {
-                    let changes = svc.apply_policies(t, &graph);
-                    if !changes.is_empty() {
-                        if let Some(letter) = svc.letter {
-                            collectors
-                                .get_mut(&letter)
-                                .expect("collector per letter")
-                                .observe(t, svc.rib());
-                        }
-                        let _ = i;
-                    }
-                }
-                // 4. RSSAC accounting over [last_fluid, t).
-                for (i, svc) in services.iter().enumerate() {
-                    let Some(letter) = svc.letter else { continue };
-                    let Some(collector) = rssac.get_mut(&letter) else {
-                        continue;
-                    };
-                    let atk_rate_prev = cfg.attack.rate_for(letter, last_fluid);
-                    let stressed = atk_rate_prev > 0.0;
-                    let day = (last_fluid.as_secs() / 86_400) as usize;
-                    // Served per site splits proportionally between
-                    // attack and legit (same queues).
-                    let mut atk_served = 0.0;
-                    let mut leg_served = 0.0;
-                    for (s, site) in svc.sites().iter().enumerate() {
-                        let pass =
-                            (1.0 - site.facility_loss) * (1.0 - site.last_loss);
-                        let atk = offered_attack[i][s] * pass;
-                        atk_served += atk;
-                        leg_served += (offered[i][s] * pass) - atk;
-                    }
-                    // RRL suppresses most attack responses (fixed qname,
-                    // heavy-hitter sources) — Verisign reported 60%.
-                    let suppression = blended_suppression(
-                        atk_rate_prev.max(1.0),
-                        botnet.heavy_share(),
-                        botnet.n_heavy_sources(),
-                        5.0,
-                    );
-                    let (aq, ar) = attack_sizes
-                        .iter()
-                        .rev()
-                        .find(|(start, _, _)| *start <= last_fluid)
-                        .map(|&(_, q, r)| (q, r))
-                        .unwrap_or((44, 488));
-                    collector.add_fluid(
-                        last_fluid,
-                        dt,
-                        atk_served,
-                        atk_served * (1.0 - suppression),
-                        aq,
-                        ar,
-                        stressed,
-                    );
-                    collector.add_fluid(
-                        last_fluid,
-                        dt,
-                        leg_served,
-                        leg_served * 0.98,
-                        legit_query_size,
-                        legit_response_size,
-                        stressed,
-                    );
-                    if let Some(days) = attack_queries_by_day.get_mut(&letter) {
-                        if day < days.len() {
-                            days[day] += atk_served * dt.as_secs_f64();
-                        }
-                    }
-                    if let Some(days) = legit_queries_by_day.get_mut(&letter) {
-                        if day < days.len() {
-                            days[day] += leg_served * dt.as_secs_f64();
-                        }
-                    }
-                }
-                // 5. .nl served-rate series.
-                if let Some(ni) = nl_index {
-                    let served = services[ni].served_per_site();
-                    for (s, series) in nl_series.iter_mut().enumerate() {
-                        series.add_at(last_fluid, served[s] * dt.as_secs_f64());
-                    }
-                }
-                last_fluid = t;
-                if t + cfg.fluid_step <= cfg.horizon {
-                    queue.schedule(t + cfg.fluid_step, Ev::Fluid);
-                }
-            }
-            Ev::Probes => {
-                let minute = t.as_secs() / 60;
-                let mut probe_rng = rng_factory.indexed_stream("probes", minute);
-                for &(vp_id, i) in &wheel[(minute as usize) % wheel_period] {
-                    let vp = fleet.vp(rootcast_atlas::VpId(vp_id));
-                    let letter = letters[i];
-                    let target = ServiceTarget {
-                        svc: &services[i],
-                    };
-                    let m = execute_probe(vp, &target, t, &mut probe_rng);
-                    let obs = clean_outcome(&m);
-                    pipeline.record(vp.id, letter, t, &obs);
-                }
-                if t + SimDuration::from_mins(1) <= cfg.horizon {
-                    queue.schedule(t + SimDuration::from_mins(1), Ev::Probes);
-                }
-            }
-            Ev::Resolvers => {
-                for node in graph.nodes() {
-                    let a = node.id.0 as usize;
-                    if pop_weights[a] <= 0.0 {
-                        continue;
-                    }
-                    let mut obs = [LetterObservation::unreachable(); 13];
-                    for (i, &letter) in letters.iter().enumerate() {
-                        let svc = &services[i];
-                        if let Some(pv) = svc.probe_view(node.id, u64::from(node.id.0)) {
-                            obs[letter as usize] = LetterObservation {
-                                rtt: Some(pv.rtt),
-                                loss: pv.drop_prob,
-                            };
-                        }
-                    }
-                    resolvers.update_as(a, &obs);
-                }
-                for (i, &letter) in letters.iter().enumerate() {
-                    legit_weights[i] = resolvers.letter_weights(letter, &pop_weights);
-                }
-                legit_shares = resolvers.aggregate_shares(&pop_weights);
-                if t < first_attack {
-                    baseline_shares = legit_shares;
-                }
-                if t + cfg.resolver_update <= cfg.horizon {
-                    queue.schedule(t + cfg.resolver_update, Ev::Resolvers);
-                }
-            }
-            Ev::Maintenance => {
-                // A random announced *small* site of a random letter goes
-                // down for 10 minutes (operator maintenance; background
-                // churn). Operators drain big sites far more carefully,
-                // so restricting maintenance to sites whose catchment is
-                // under 3% of ASes keeps the quiet-period flip counts at
-                // the low level Figure 8 shows outside the events.
-                let svc_idx = maint_rng.gen_range(0..letters.len());
-                let svc = &mut services[svc_idx];
-                let sizes = svc.rib().catchment_sizes(svc.sites().len());
-                let limit = (n_ases as f64 * 0.10) as usize;
-                let announced: Vec<SiteIdx> = svc
-                    .announced_sites()
-                    .into_iter()
-                    .filter(|&i| sizes[i] <= limit)
-                    .collect();
-                if !announced.is_empty() {
-                    let site = announced[maint_rng.gen_range(0..announced.len())];
-                    if svc.set_announced(site, false, &graph) {
-                        collectors
-                            .get_mut(&letters[svc_idx])
-                            .expect("collector")
-                            .observe(t, svc.rib());
-                        let end = t + SimDuration::from_mins(10);
-                        if end <= cfg.horizon {
-                            queue.schedule(end, Ev::MaintenanceEnd(svc_idx, site));
-                        }
-                    }
-                }
-                if let Some(mean) = cfg.maintenance_mean {
-                    let dt = SimDuration::from_secs_f64(exp_sample(
-                        &mut maint_rng,
-                        1.0 / mean.as_secs_f64(),
-                    ));
-                    let next = t + dt;
-                    if next <= cfg.horizon {
-                        queue.schedule(next, Ev::Maintenance);
-                    }
-                }
-            }
-            Ev::MaintenanceEnd(svc_idx, site) => {
-                let svc = &mut services[svc_idx];
-                if svc.set_announced(site, true, &graph) {
-                    collectors
-                        .get_mut(&letters[svc_idx])
-                        .expect("collector")
-                        .observe(t, svc.rib());
-                }
-            }
-        }
-    }
-    pipeline.finalize();
-
-    // --- Unique-source estimates per reporting letter/day -----------------
-    // Baseline resolvers contribute ~3-5 M distinct addresses per day
-    // (Table 3's rightmost column); the attack adds the spoofed cloud.
-    for (&letter, days) in &attack_queries_by_day {
-        let collector = rssac.get_mut(&letter).expect("reporting letter");
-        let leg = &legit_queries_by_day[&letter];
-        let baseline_legit = cfg.legit_total_qps / 13.0 * 86_400.0;
-        for (day, (&atk_q, &leg_q)) in days.iter().zip(leg).enumerate() {
-            // Legit uniqueness scales sublinearly with query volume:
-            // more queries from the same resolvers, plus new resolvers
-            // flipping in.
-            let legit_unique = 2.9e6 * (leg_q / baseline_legit).max(0.01).powf(0.7);
-            let attack_unique = if atk_q > 0.0 {
-                botnet.expected_unique_sources(atk_q)
-            } else {
-                0.0
-            };
-            collector.add_unique_sources(day, legit_unique + attack_unique);
-        }
-    }
-
-    // --- Synthesized 7-day baseline reports --------------------------------
-    // Pre-event days carry only legitimate traffic; the mean report is
-    // computed analytically from the same constants the simulation used.
-    let mut rssac_baseline = BTreeMap::new();
-    for (&letter, _) in &rssac {
-        let mut c = RssacCollector::new(letter, 1, 1.0);
-        let day = SimDuration::from_hours(24);
-        let qps = cfg.legit_total_qps * baseline_shares[letter as usize];
-        c.add_fluid(
-            SimTime::ZERO,
-            day,
-            qps,
-            qps * 0.98,
-            legit_query_size,
-            legit_response_size,
-            false,
-        );
-        c.add_unique_sources(0, if letter == Letter::A { 5.35e6 } else { 2.9e6 });
-        rssac_baseline.insert(letter, c.report(0));
-    }
+    let SimWorld {
+        graph,
+        letters,
+        services,
+        nl_index,
+        cleaning,
+        pipeline,
+        collectors,
+        rssac,
+        rssac_baseline,
+        nl_series,
+        deployments,
+        ..
+    } = world;
 
     let nl_sites = nl_index
         .map(|ni| {
@@ -693,9 +137,10 @@ pub fn run(cfg: &ScenarioConfig) -> SimOutput {
         deployments,
         attack: cfg.attack.clone(),
         horizon: cfg.horizon,
-        n_ases,
+        n_ases: graph.len(),
         probe_interval: cfg.probe_interval,
         a_probe_interval: cfg.a_probe_interval,
+        run_stats: RunStats::default(),
     }
 }
 
@@ -736,18 +181,6 @@ pub fn attack_exposure(cfg: &ScenarioConfig) -> Vec<(Letter, Vec<(String, f64)>)
         .collect()
 }
 
-fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 {
-        a
-    } else {
-        gcd(b, a % b)
-    }
-}
-
-fn lcm(a: u64, b: u64) -> u64 {
-    a / gcd(a, b) * b
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,7 +213,10 @@ mod tests {
         }
         // B-root suffers during the attack: its success series dips.
         let b = out.pipeline.letter(Letter::B);
-        let pre: f64 = b.success.window(SimTime::ZERO, SimTime::from_mins(30)).max();
+        let pre: f64 = b
+            .success
+            .window(SimTime::ZERO, SimTime::from_mins(30))
+            .max();
         let during: f64 = b
             .success
             .window(SimTime::from_mins(40), SimTime::from_mins(60))
@@ -791,7 +227,10 @@ mod tests {
         );
         // L-root (not attacked) stays healthy.
         let l = out.pipeline.letter(Letter::L);
-        let l_pre = l.success.window(SimTime::ZERO, SimTime::from_mins(30)).max();
+        let l_pre = l
+            .success
+            .window(SimTime::ZERO, SimTime::from_mins(30))
+            .max();
         let l_during = l
             .success
             .window(SimTime::from_mins(40), SimTime::from_mins(60))
@@ -805,6 +244,20 @@ mod tests {
         assert!(out.rssac.contains_key(&Letter::A));
         // .nl series exist.
         assert_eq!(out.nl_sites.len(), 2);
+        // The default observer collected engine stats: all five
+        // subsystems ticked, and load extremes were recorded.
+        assert_eq!(out.run_stats.subsystems.len(), 5);
+        for name in ["fluid", "rssac", "probes", "resolvers", "maintenance"] {
+            assert!(
+                out.run_stats.subsystems.contains_key(name),
+                "missing stats for {name}"
+            );
+        }
+        let fluid_ticks = out.run_stats.subsystems["fluid"].ticks;
+        assert_eq!(fluid_ticks, 120); // one per minute over 2 h
+        assert_eq!(out.run_stats.subsystems["rssac"].ticks, fluid_ticks);
+        assert!(out.run_stats.peak_offered_qps > 0.0);
+        assert!(out.run_stats.worst_served_ratio < 1.0); // B-root melted
     }
 
     #[test]

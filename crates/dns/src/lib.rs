@@ -29,5 +29,6 @@ pub use name::{Name, NameError};
 pub use rootzone::{parse_chaos_response, RootZone};
 pub use rrl::{RateLimiter, RrlAction, RrlConfig};
 pub use wire::{
-    packet_bytes, Flags, Message, Question, Rcode, Rdata, Record, RrClass, RrType, WireError,
+    edns0_opt, packet_bytes, Flags, Message, Question, Rcode, Rdata, Record, RrClass, RrType,
+    WireError,
 };

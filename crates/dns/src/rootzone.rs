@@ -38,8 +38,8 @@ impl RootZone {
     /// the rest exist so random legitimate traffic resolves).
     pub fn nov2015() -> RootZone {
         let mut tlds: Vec<String> = [
-            "com", "net", "org", "edu", "gov", "mil", "arpa", "info", "biz", "io", "nl",
-            "de", "uk", "fr", "jp", "cn", "ru", "br", "au", "it", "se", "ch", "at", "pl",
+            "com", "net", "org", "edu", "gov", "mil", "arpa", "info", "biz", "io", "nl", "de",
+            "uk", "fr", "jp", "cn", "ru", "br", "au", "it", "se", "ch", "at", "pl",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -149,12 +149,8 @@ impl RootZone {
         let tld_name = Name::parse(tld).expect("valid tld label");
         let n_servers = if tld == "com" || tld == "net" { 13 } else { 8 };
         for i in 0..n_servers {
-            let ns = Name::parse(&format!(
-                "{}.{}-servers.example",
-                (b'a' + i) as char,
-                tld
-            ))
-            .expect("constructed ns name");
+            let ns = Name::parse(&format!("{}.{}-servers.example", (b'a' + i) as char, tld))
+                .expect("constructed ns name");
             r.authorities.push(Record {
                 name: tld_name.clone(),
                 rtype: RrType::Ns,

@@ -110,7 +110,7 @@ impl RateLimiter {
             RrlAction::Respond
         } else {
             bucket.drops += 1;
-            if cfg.slip > 0 && bucket.drops % cfg.slip == 0 {
+            if cfg.slip > 0 && bucket.drops.is_multiple_of(cfg.slip) {
                 self.slipped += 1;
                 RrlAction::Slip
             } else {
@@ -226,7 +226,10 @@ mod tests {
         }
         // With slip=2, drops and slips split the suppressed responses
         // roughly evenly; together they must dominate.
-        assert!(dropped + slipped > 900, "dropped {dropped} slipped {slipped}");
+        assert!(
+            dropped + slipped > 900,
+            "dropped {dropped} slipped {slipped}"
+        );
         assert!(dropped > 400, "dropped {dropped}");
         assert!(slipped > 400, "slipped {slipped}");
         assert!(rrl.suppression_ratio() > 0.4);

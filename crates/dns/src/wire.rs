@@ -245,9 +245,8 @@ impl Rdata {
                 let (mname, p) = Name::decode(msg, pos)?;
                 let (rname, p) = Name::decode(msg, p)?;
                 let fixed = msg.get(p..p + 20).ok_or(WireError::Truncated)?;
-                let u = |i: usize| {
-                    u32::from_be_bytes(fixed[i..i + 4].try_into().expect("fixed slice"))
-                };
+                let u =
+                    |i: usize| u32::from_be_bytes(fixed[i..i + 4].try_into().expect("fixed slice"));
                 Rdata::Soa {
                     mname,
                     rname,
@@ -292,6 +291,20 @@ pub struct Record {
     pub class: RrClass,
     pub ttl: u32,
     pub rdata: Rdata,
+}
+
+/// The EDNS0 OPT pseudo-record (RFC 6891): root owner name, TYPE=OPT,
+/// CLASS carrying the requester's UDP payload size, empty RDATA. On the
+/// wire this is exactly 11 bytes — name (1) + type (2) + class (2) +
+/// ttl (4) + rdlength (2).
+pub fn edns0_opt(udp_payload_size: u16) -> Record {
+    Record {
+        name: Name::root(),
+        rtype: RrType::Opt,
+        class: RrClass::Other(udp_payload_size),
+        ttl: 0,
+        rdata: Rdata::Raw(Vec::new()),
+    }
 }
 
 /// Message header flags we model.
@@ -561,6 +574,22 @@ mod tests {
     }
 
     #[test]
+    fn edns0_opt_adds_exactly_eleven_bytes() {
+        let bare = a_query();
+        let mut with_opt = bare.clone();
+        with_opt.additionals.push(edns0_opt(4096));
+        assert_eq!(with_opt.wire_size(), bare.wire_size() + 11);
+        // And it survives a wire round-trip with the payload size intact.
+        let decoded = Message::decode(&with_opt.encode()).unwrap();
+        assert_eq!(decoded.additionals.len(), 1);
+        let opt = &decoded.additionals[0];
+        assert_eq!(opt.rtype, RrType::Opt);
+        assert_eq!(opt.class, RrClass::Other(4096));
+        assert_eq!(opt.name, Name::root());
+        assert_eq!(opt.rdata, Rdata::Raw(Vec::new()));
+    }
+
+    #[test]
     fn attack_query_size_matches_paper() {
         // §3.1: full attack query packets were 84/85 bytes including
         // IP/UDP headers. www.336901.com A IN: 12 (header) + 16 (qname)
@@ -656,7 +685,12 @@ mod tests {
 
     #[test]
     fn compression_pointer_used_for_answer_owner() {
-        let q = Message::query(1, Name::parse("example.com").unwrap(), RrType::A, RrClass::In);
+        let q = Message::query(
+            1,
+            Name::parse("example.com").unwrap(),
+            RrType::A,
+            RrClass::In,
+        );
         let mut r = q.response_to(Rcode::NoError);
         r.answers.push(Record {
             name: q.questions[0].qname.clone(),

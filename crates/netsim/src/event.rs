@@ -209,7 +209,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1), 1);
         q.schedule(SimTime::from_secs(10), 2);
-        assert_eq!(q.pop_until(SimTime::from_secs(5)), Some((SimTime::from_secs(1), 1)));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(5)),
+            Some((SimTime::from_secs(1), 1))
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(5)), None);
         assert_eq!(q.len(), 1);
     }

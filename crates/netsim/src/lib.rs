@@ -36,6 +36,7 @@ pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
+pub use rand_chacha::ChaCha8Rng;
 pub use rate::{FluidQueue, RateSignal};
 pub use rng::SimRng;
 pub use series::{BinnedSeries, Reduce, SampleBins};

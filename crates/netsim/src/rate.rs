@@ -39,7 +39,10 @@ impl RateSignal {
     /// Set the rate from `t` onward, discarding any breakpoints at or after
     /// `t` (simulations only ever extend signals forward).
     pub fn set_from(&mut self, t: SimTime, rate: f64) {
-        assert!(rate >= 0.0 && rate.is_finite(), "rate must be >= 0, got {rate}");
+        assert!(
+            rate >= 0.0 && rate.is_finite(),
+            "rate must be >= 0, got {rate}"
+        );
         while let Some(&(since, _)) = self.points.last() {
             if since >= t {
                 self.points.pop();

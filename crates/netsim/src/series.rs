@@ -105,7 +105,10 @@ impl BinnedSeries {
 
     /// Maximum over bins.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Median over bins (see [`crate::stats::median`]).
@@ -231,10 +234,7 @@ mod tests {
 
     #[test]
     fn window_slices_bins() {
-        let s = BinnedSeries::from_values(
-            SimDuration::from_mins(10),
-            vec![1.0, 2.0, 3.0, 4.0],
-        );
+        let s = BinnedSeries::from_values(SimDuration::from_mins(10), vec![1.0, 2.0, 3.0, 4.0]);
         let w = s.window(mins(10), mins(30));
         assert_eq!(w.values(), &[2.0, 3.0]);
     }

@@ -83,7 +83,11 @@ pub fn linear_regression(pairs: &[(f64, f64)]) -> Option<Regression> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(Regression {
         slope,
         intercept,

@@ -239,8 +239,24 @@ mod tests {
         // Baseline traffic: mixed sizes. Attack: fixed 44-byte queries
         // (www.336901.com payload) at 100x volume.
         let mut c = RssacCollector::new(Letter::A, 2, 1.0);
-        c.add_fluid(t(0), SimDuration::from_hours(6), 40_000.0, 39_000.0, 60, 400, false);
-        c.add_fluid(t(7), SimDuration::from_mins(160), 5_000_000.0, 3_800_000.0, 44, 488, false);
+        c.add_fluid(
+            t(0),
+            SimDuration::from_hours(6),
+            40_000.0,
+            39_000.0,
+            60,
+            400,
+            false,
+        );
+        c.add_fluid(
+            t(7),
+            SimDuration::from_mins(160),
+            5_000_000.0,
+            3_800_000.0,
+            44,
+            488,
+            false,
+        );
         let r = c.report(0);
         let (bin, _) = r.query_sizes.dominant_bin().unwrap();
         assert_eq!(bin, 32, "32-47B bin dominates, as reported for Nov 30");
@@ -253,8 +269,24 @@ mod tests {
         let mut full = RssacCollector::new(Letter::K, 1, 1.0);
         let mut lossy = RssacCollector::new(Letter::K, 1, 0.2);
         for c in [&mut full, &mut lossy] {
-            c.add_fluid(t(1), SimDuration::from_hours(1), 1000.0, 900.0, 44, 488, true);
-            c.add_fluid(t(3), SimDuration::from_hours(1), 1000.0, 900.0, 44, 488, false);
+            c.add_fluid(
+                t(1),
+                SimDuration::from_hours(1),
+                1000.0,
+                900.0,
+                44,
+                488,
+                true,
+            );
+            c.add_fluid(
+                t(3),
+                SimDuration::from_hours(1),
+                1000.0,
+                900.0,
+                44,
+                488,
+                false,
+            );
         }
         let rf = full.report(0);
         let rl = lossy.report(0);
@@ -267,8 +299,24 @@ mod tests {
     #[test]
     fn traffic_lands_on_correct_day() {
         let mut c = RssacCollector::new(Letter::J, 2, 1.0);
-        c.add_fluid(t(5), SimDuration::from_hours(1), 100.0, 90.0, 44, 488, false);
-        c.add_fluid(t(30), SimDuration::from_hours(1), 200.0, 180.0, 44, 488, false);
+        c.add_fluid(
+            t(5),
+            SimDuration::from_hours(1),
+            100.0,
+            90.0,
+            44,
+            488,
+            false,
+        );
+        c.add_fluid(
+            t(30),
+            SimDuration::from_hours(1),
+            200.0,
+            180.0,
+            44,
+            488,
+            false,
+        );
         assert!((c.report(0).queries - 100.0 * 3600.0).abs() < 1e-6);
         assert!((c.report(1).queries - 200.0 * 3600.0).abs() < 1e-6);
         // Day 2 does not exist: adding is a no-op, not a panic.

@@ -155,7 +155,11 @@ pub fn generate(params: &TopologyParams, rng_factory: &SimRng) -> AsGraph {
     for _ in 0..params.n_stub {
         let c = CityId(weighted_index(&mut rng, &weights) as u16);
         let s = g.add_node(Tier::Stub, c);
-        let n_providers = if rng.gen_bool(params.stub_multihome_prob) { 2 } else { 1 };
+        let n_providers = if rng.gen_bool(params.stub_multihome_prob) {
+            2
+        } else {
+            1
+        };
         let mut chosen: Vec<AsId> = Vec::new();
         while chosen.len() < n_providers {
             // 5% chance of buying transit straight from a Tier-1.
@@ -204,11 +208,7 @@ mod tests {
     fn generated_graph_validates() {
         let g = generate(&TopologyParams::default(), &SimRng::new(1));
         assert!(g.validate().is_ok());
-        assert_eq!(
-            g.len(),
-            12 + 80 + 1500,
-            "node count must match parameters"
-        );
+        assert_eq!(g.len(), 12 + 80 + 1500, "node count must match parameters");
     }
 
     #[test]

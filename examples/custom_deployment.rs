@@ -68,10 +68,16 @@ fn main() {
         svc.advance_queues(t, &offered, &facilities);
         let changes = svc.apply_policies(t, &graph);
         for &idx in &changes.withdrew {
-            println!("  t+{minute:02}m: site {} WITHDREW", svc.site(idx).spec.code);
+            println!(
+                "  t+{minute:02}m: site {} WITHDREW",
+                svc.site(idx).spec.code
+            );
         }
         for &idx in &changes.reannounced {
-            println!("  t+{minute:02}m: site {} re-announced", svc.site(idx).spec.code);
+            println!(
+                "  t+{minute:02}m: site {} re-announced",
+                svc.site(idx).spec.code
+            );
         }
         if minute % 15 == 0 {
             let report: Vec<String> = svc

@@ -20,14 +20,25 @@ fn main() {
     // Sweep: A0 = A1 rising from harmless to overwhelming.
     let mut sweep = TextTable::new(
         "Strategy sweep: s1 = s2 = 1, S3 = 10, A0 = A1 = a",
-        &["a", "absorb", "withdraw ISP1", "withdraw small", "reroute ISP1", "best", "winner"],
+        &[
+            "a",
+            "absorb",
+            "withdraw ISP1",
+            "withdraw small",
+            "reroute ISP1",
+            "best",
+            "winner",
+        ],
     );
     let mut transitions: Vec<(f64, &'static str)> = Vec::new();
     let mut last_winner = "";
     for step in 0..=60 {
         let a = step as f64 * 0.2;
         let d = paper_deployment(1.0, a, a);
-        let hs: Vec<u32> = Strategy::ALL.iter().map(|s| s.apply(&d).happiness()).collect();
+        let hs: Vec<u32> = Strategy::ALL
+            .iter()
+            .map(|s| s.apply(&d).happiness())
+            .collect();
         let best = d.best_possible();
         // First strategy wins ties, so "absorb" (do nothing) is the
         // winner whenever action does not help.
@@ -61,9 +72,7 @@ fn main() {
     for (a, winner) in transitions {
         println!("  a >= {a:.1}: {winner}");
     }
-    println!(
-        "\nreading: small attacks need no action; mid-size attacks reward"
-    );
+    println!("\nreading: small attacks need no action; mid-size attacks reward");
     println!("withdrawing toward spare capacity (\"less can be more\"); attacks");
     println!("beyond any site's capacity make degraded absorption optimal.");
 }

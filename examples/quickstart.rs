@@ -43,7 +43,12 @@ fn main() {
     let plotted: Vec<String> = fig4
         .significant()
         .iter()
-        .map(|r| format!("{} ({:.0} -> {:.0} ms)", r.letter, r.baseline_ms, r.event_peak_ms))
+        .map(|r| {
+            format!(
+                "{} ({:.0} -> {:.0} ms)",
+                r.letter, r.baseline_ms, r.event_peak_ms
+            )
+        })
         .collect();
     println!("letters with visible RTT change: {}\n", plotted.join(", "));
 

@@ -13,8 +13,8 @@
 //! Expected wall time for the full configuration: 30–60 s in release.
 
 use rootcast::analysis::{
-    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers,
-    site_reach, site_rtt,
+    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers, site_reach,
+    site_rtt,
 };
 use rootcast::render::TextTable;
 use rootcast::{policy_model, sim, Letter, ScenarioConfig};
@@ -39,7 +39,11 @@ fn main() {
         if small { "small" } else { "full Nov-2015" },
         cfg.horizon,
         cfg.fleet.n_vps,
-        cfg.attack.windows().first().map(|w| w.rate_qps / 1e6).unwrap_or(0.0),
+        cfg.attack
+            .windows()
+            .first()
+            .map(|w| w.rate_qps / 1e6)
+            .unwrap_or(0.0),
     );
     let t0 = std::time::Instant::now();
     let out = sim::run(&cfg);

@@ -1,0 +1,81 @@
+//! Determinism regression: the engine's outputs are a pure function of
+//! the scenario seed, at any rayon thread count.
+//!
+//! The per-letter fan-out in `FluidTraffic` and `ProbeWheel` merges
+//! results in letter order and draws from per-(letter, minute) RNG
+//! streams, so the schedule of thread interleavings cannot reach any
+//! simulation state. These tests pin that property end to end: two
+//! default-pool runs and one forced single-thread run of
+//! `ScenarioConfig::small()` must agree bit for bit.
+
+use rootcast::{run, ScenarioConfig, SimOutput};
+
+/// A bit-exact digest of everything the analysis layer consumes.
+/// Floats are compared through `to_bits`, so "close" is not enough.
+#[derive(Debug, PartialEq, Eq)]
+struct Summary {
+    n_ases: usize,
+    n_vps_kept: usize,
+    success: Vec<(String, Vec<u64>)>,
+    rssac: Vec<(String, u64, u64, u64)>,
+    nl: Vec<(String, Vec<u64>)>,
+    route_events: Vec<(String, usize)>,
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn summarize(out: &SimOutput) -> Summary {
+    Summary {
+        n_ases: out.n_ases,
+        n_vps_kept: out.n_vps_kept,
+        success: out
+            .letters
+            .iter()
+            .map(|&l| (l.to_string(), bits(out.pipeline.letter(l).success.values())))
+            .collect(),
+        rssac: out
+            .rssac
+            .iter()
+            .map(|(l, c)| {
+                let r = c.report(0);
+                (
+                    l.to_string(),
+                    r.queries.to_bits(),
+                    r.responses.to_bits(),
+                    r.unique_sources.to_bits(),
+                )
+            })
+            .collect(),
+        nl: out
+            .nl_sites
+            .iter()
+            .map(|(code, series)| (code.clone(), bits(series.values())))
+            .collect(),
+        route_events: out
+            .collectors
+            .iter()
+            .map(|(l, c)| (l.to_string(), c.log().len()))
+            .collect(),
+    }
+}
+
+#[test]
+fn small_scenario_is_bit_identical_across_runs_and_thread_counts() {
+    let cfg = ScenarioConfig::small();
+
+    let first = summarize(&run(&cfg));
+    let second = summarize(&run(&cfg));
+    assert_eq!(first, second, "two identical runs diverged");
+
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool")
+        .install(|| summarize(&run(&cfg)));
+    assert_eq!(
+        first, single,
+        "single-thread run diverged from the default pool"
+    );
+}

@@ -6,10 +6,10 @@
 //! expensive part.
 
 use rootcast::analysis::{
-    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers,
-    site_reach, site_rtt,
+    collateral, event_size, flips, letter_rtt, raster, reachability, routing, servers, site_reach,
+    site_rtt,
 };
-use rootcast::{sim, Letter, ScenarioConfig, SimDuration, SimTime, SimOutput};
+use rootcast::{sim, Letter, ScenarioConfig, SimDuration, SimOutput, SimTime};
 use rootcast_attack::{AttackSchedule, AttackWindow};
 use std::sync::OnceLock;
 
@@ -131,7 +131,7 @@ fn cleaning_is_effective_and_bounded() {
     let out = scenario();
     let kept_frac = out.n_vps_kept as f64 / 400.0;
     assert!(kept_frac > 0.9, "cleaning too aggressive: {kept_frac}");
-    assert!(out.cleaning.excluded.len() > 0, "cleaning found nothing");
+    assert!(!out.cleaning.excluded.is_empty(), "cleaning found nothing");
 }
 
 #[test]

@@ -10,7 +10,7 @@ use proptest::strategy::Strategy as _;
 use rootcast::policy_model::{paper_deployment, Strategy};
 use rootcast_bgp::{compute_rib_scoped, Origin, Scope};
 use rootcast_dns::{Letter, Message, Name, Rcode, Rdata, Record, RrClass, RrType, ServerIdentity};
-use rootcast_netsim::{BinnedSeries, FluidQueue, RateSignal, SimDuration, SimTime, SimRng};
+use rootcast_netsim::{BinnedSeries, FluidQueue, RateSignal, SimDuration, SimRng, SimTime};
 use rootcast_topology::{gen, Tier, TopologyParams};
 
 // ---------------------------------------------------------------- names

@@ -111,16 +111,8 @@ fn different_seeds_same_shape() {
         let fig = reachability::figure3(&out);
         let b = fig.rows.iter().find(|r| r.letter == Letter::B).unwrap();
         let l = fig.rows.iter().find(|r| r.letter == Letter::L).unwrap();
-        assert!(
-            b.survival < 0.6,
-            "seed {seed}: B survived {}",
-            b.survival
-        );
-        assert!(
-            l.survival > 0.9,
-            "seed {seed}: L dipped to {}",
-            l.survival
-        );
+        assert!(b.survival < 0.6, "seed {seed}: B survived {}", b.survival);
+        assert!(l.survival > 0.9, "seed {seed}: L dipped to {}", l.survival);
         assert!(b.survival < l.survival, "seed {seed}: ordering broke");
     }
 }
@@ -132,11 +124,7 @@ fn maintenance_noise_off_means_quiet_baseline() {
     cfg.maintenance_mean = None;
     let out = sim::run(&cfg);
     // Without maintenance or attack, collectors log nothing.
-    let total_updates: usize = out
-        .collectors
-        .values()
-        .map(|c| c.total_messages())
-        .sum();
+    let total_updates: usize = out.collectors.values().map(|c| c.total_messages()).sum();
     assert_eq!(total_updates, 0, "spurious route churn");
     // And flips are essentially zero.
     let total_flips: f64 = out
@@ -144,7 +132,10 @@ fn maintenance_noise_off_means_quiet_baseline() {
         .iter()
         .map(|&l| out.pipeline.letter(l).flips.values().iter().sum::<f64>())
         .sum();
-    assert!(total_flips < 10.0, "flips {total_flips} in a dead-quiet run");
+    assert!(
+        total_flips < 10.0,
+        "flips {total_flips} in a dead-quiet run"
+    );
 }
 
 #[test]
@@ -156,5 +147,9 @@ fn probe_interval_change_preserves_conclusions() {
     let out = sim::run(&cfg);
     let fig = reachability::figure3(&out);
     let b = fig.rows.iter().find(|r| r.letter == Letter::B).unwrap();
-    assert!(b.survival < 0.6, "B survived {} at 8-min probing", b.survival);
+    assert!(
+        b.survival < 0.6,
+        "B survived {} at 8-min probing",
+        b.survival
+    );
 }

@@ -158,8 +158,7 @@ fn chaos_identity_survives_the_full_wire_path() {
         let resp = RootZone::answer_chaos(&zone_q, &id);
         let wire = resp.encode();
         let decoded = rootcast_dns::Message::decode(&wire).expect("decodes");
-        let parsed =
-            rootcast_dns::parse_chaos_response(letter, &decoded).expect("parses");
+        let parsed = rootcast_dns::parse_chaos_response(letter, &decoded).expect("parses");
         assert_eq!(parsed, id);
     }
 }

@@ -92,15 +92,13 @@ macro_rules! prop_assert_eq {
         let left = &$left;
         let right = &$right;
         if !(*left == *right) {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!(
-                    "assertion failed: `{:?}` == `{:?}` ({} == {})",
-                    left,
-                    right,
-                    stringify!($left),
-                    stringify!($right)
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` == `{:?}` ({} == {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            )));
         }
     }};
 }
@@ -111,15 +109,13 @@ macro_rules! prop_assert_ne {
         let left = &$left;
         let right = &$right;
         if *left == *right {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!(
-                    "assertion failed: `{:?}` != `{:?}` ({} != {})",
-                    left,
-                    right,
-                    stringify!($left),
-                    stringify!($right)
-                ),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            )));
         }
     }};
 }

@@ -169,7 +169,9 @@ mod tests {
         for _ in 0..1_000 {
             let v = s.generate(&mut rng);
             assert!((1..=20).contains(&v.len()), "{v:?}");
-            assert!(v.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

@@ -139,8 +139,12 @@ pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
 
 /// Types that can be sampled uniformly from a range.
 pub trait SampleUniform: Sized {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// Range-shaped arguments accepted by [`Rng::gen_range`].
@@ -221,7 +225,12 @@ macro_rules! impl_uniform_int {
 impl_uniform_int!(i8, i16, i32, i64, isize);
 
 impl SampleUniform for f64 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _incl: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _incl: bool,
+    ) -> Self {
         let v = low + unit_f64(rng) * (high - low);
         // Floating-point rounding can land exactly on `high`; fold it
         // back to keep half-open semantics.
@@ -234,7 +243,12 @@ impl SampleUniform for f64 {
 }
 
 impl SampleUniform for f32 {
-    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, _incl: bool) -> Self {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _incl: bool,
+    ) -> Self {
         let v = low + unit_f32(rng) * (high - low);
         if v >= high {
             low
@@ -254,7 +268,10 @@ mod tests {
             self.next_u64() as u32
         }
         fn next_u64(&mut self) -> u64 {
-            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             self.0
         }
     }
