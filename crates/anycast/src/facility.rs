@@ -13,7 +13,7 @@
 
 use crate::site::FacilityId;
 use rootcast_netsim::{FluidQueue, SimTime};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Registry of facility links and their per-step aggregation.
 #[derive(Debug, Clone)]
@@ -23,6 +23,9 @@ pub struct FacilityTable {
     pending: BTreeMap<FacilityId, f64>,
     /// Loss fraction computed at the last advance.
     loss: BTreeMap<FacilityId, f64>,
+    /// Facilities currently dark (power/link outage): every tenant's
+    /// traffic through the link is lost until the outage clears.
+    out: BTreeSet<FacilityId>,
 }
 
 impl FacilityTable {
@@ -31,6 +34,7 @@ impl FacilityTable {
             links: BTreeMap::new(),
             pending: BTreeMap::new(),
             loss: BTreeMap::new(),
+            out: BTreeSet::new(),
         }
     }
 
@@ -54,13 +58,34 @@ impl FacilityTable {
         *self.pending.entry(id).or_insert(0.0) += qps;
     }
 
+    /// Take a registered facility dark (total outage) or bring it back.
+    /// Returns false if the facility is unknown or already in the
+    /// requested state, so callers can degrade gracefully.
+    pub fn set_out(&mut self, id: FacilityId, out: bool) -> bool {
+        if !self.links.contains_key(&id) {
+            return false;
+        }
+        if out {
+            self.out.insert(id)
+        } else {
+            self.out.remove(&id)
+        }
+    }
+
+    /// Is this facility currently dark?
+    pub fn is_out(&self, id: FacilityId) -> bool {
+        self.out.contains(&id)
+    }
+
     /// Advance all facility queues to `now` under the accumulated load,
     /// recording each link's loss fraction, then clear the accumulators.
+    /// Dark facilities drop everything regardless of queue state.
     pub fn advance(&mut self, now: SimTime) {
         for (id, queue) in &mut self.links {
             let offered = self.pending.get(id).copied().unwrap_or(0.0);
             let loss = queue.advance(now, offered);
-            self.loss.insert(*id, loss);
+            self.loss
+                .insert(*id, if self.out.contains(id) { 1.0 } else { loss });
         }
         self.pending.clear();
     }
@@ -139,6 +164,25 @@ mod tests {
     fn load_on_unknown_facility_panics() {
         let mut t = FacilityTable::new();
         t.add_load(FacilityId(9), 1.0);
+    }
+
+    #[test]
+    fn outage_drops_everything_until_cleared() {
+        let mut t = FacilityTable::new();
+        t.register(FacilityId(1), 1000.0, 0.0);
+        assert!(t.set_out(FacilityId(1), true));
+        assert!(t.is_out(FacilityId(1)));
+        // Redundant transition reports false.
+        assert!(!t.set_out(FacilityId(1), true));
+        // Unknown facility degrades gracefully.
+        assert!(!t.set_out(FacilityId(9), true));
+        t.add_load(FacilityId(1), 10.0);
+        t.advance(SimTime::from_secs(60));
+        assert_eq!(t.loss(FacilityId(1)), 1.0);
+        assert!(t.set_out(FacilityId(1), false));
+        t.add_load(FacilityId(1), 10.0);
+        t.advance(SimTime::from_secs(120));
+        assert_eq!(t.loss(FacilityId(1)), 0.0);
     }
 
     #[test]

@@ -22,7 +22,8 @@ pub mod vp;
 
 pub use clean::{clean_fleet, clean_outcome, CleanObs, CleaningReport, ExclusionReason};
 pub use pipeline::{
-    raster_code, FlipEvent, LetterData, MeasurementPipeline, PipelineConfig, ServerWatch,
+    raster_code, FlipEvent, LetterData, MeasurementPipeline, PipelineConfig, PipelineError,
+    ServerWatch,
 };
 pub use probe::{
     execute_probe, ChaosTarget, RawMeasurement, RawOutcome, TargetView, ATLAS_TIMEOUT,

@@ -21,8 +21,39 @@
 use crate::clean::CleanObs;
 use crate::vp::VpId;
 use rootcast_dns::Letter;
-use rootcast_netsim::{BinnedSeries, Reduce, SampleBins, SimDuration, SimTime};
+use rootcast_netsim::{BinnedSeries, Coverage, Reduce, SampleBins, SimDuration, SimTime};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed failure of a pipeline operation. Recording into the pipeline
+/// is fallible — a measurement can name a letter or site the pipeline
+/// was never configured for — and the caller decides whether that is a
+/// programmer error (unwrap) or data to skip (degrade).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The letter was never registered with [`MeasurementPipeline::register_letter`].
+    UnregisteredLetter(Letter),
+    /// A site identity not in the letter's registered site list.
+    UnknownSite { letter: Letter, site: String },
+    /// A VP id at or beyond the fleet size the pipeline was built for.
+    VpOutOfRange { vp: VpId, n_vps: usize },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnregisteredLetter(l) => write!(f, "letter {l} not registered"),
+            PipelineError::UnknownSite { letter, site } => {
+                write!(f, "unknown site {site} for {letter}")
+            }
+            PipelineError::VpOutOfRange { vp, n_vps } => {
+                write!(f, "VP {} beyond fleet size {n_vps}", vp.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -123,6 +154,11 @@ pub struct LetterData {
     pub watches: BTreeMap<u16, ServerWatch>,
     /// Per-probe site timeline per VP (raster letters only).
     pub raster: Option<Vec<Vec<u8>>>,
+    /// Probes recorded within the horizon.
+    pub observed_probes: u64,
+    /// Scheduled probes that never produced a measurement (probe-fleet
+    /// dropout, firmware churn) — reported via [`LetterData::coverage`].
+    pub missed_probes: u64,
 }
 
 impl LetterData {
@@ -139,6 +175,15 @@ impl LetterData {
     /// baseline used for normalization in Figures 5/6).
     pub fn site_median(&self, site: u16) -> f64 {
         self.site_counts[site as usize].median()
+    }
+
+    /// Fraction of scheduled probes that actually produced a
+    /// measurement. 1.0 when no probe was ever reported missing.
+    pub fn coverage(&self) -> Coverage {
+        Coverage {
+            observed: self.observed_probes as f64,
+            expected: (self.observed_probes + self.missed_probes) as f64,
+        }
     }
 
     /// Per-bin median RTT in milliseconds (NaN where no samples).
@@ -271,6 +316,8 @@ impl MeasurementPipeline {
             flip_events: Vec::new(),
             watches,
             raster,
+            observed_probes: 0,
+            missed_probes: 0,
         };
         self.letters.insert(letter, data);
         self.letter_order.push(letter);
@@ -281,37 +328,68 @@ impl MeasurementPipeline {
         );
     }
 
-    fn slot(&self, vp: VpId, letter: Letter) -> usize {
+    fn slot(&self, vp: VpId, letter: Letter) -> Result<usize, PipelineError> {
         let li = self
             .letter_order
             .iter()
             .position(|&l| l == letter)
-            .unwrap_or_else(|| panic!("letter {letter} not registered"));
-        li * self.n_vps + vp.0 as usize
+            .ok_or(PipelineError::UnregisteredLetter(letter))?;
+        if vp.0 as usize >= self.n_vps {
+            return Err(PipelineError::VpOutOfRange {
+                vp,
+                n_vps: self.n_vps,
+            });
+        }
+        Ok(li * self.n_vps + vp.0 as usize)
+    }
+
+    /// Record that a scheduled probe produced no measurement at all
+    /// (the VP was disconnected or its result was discarded). Counts
+    /// toward [`LetterData::coverage`]; beyond-horizon slots are ignored
+    /// symmetrically with [`MeasurementPipeline::record`].
+    pub fn note_missed(&mut self, letter: Letter, at: SimTime) -> Result<(), PipelineError> {
+        if at >= self.cfg.horizon {
+            return Ok(());
+        }
+        let data = self
+            .letters
+            .get_mut(&letter)
+            .ok_or(PipelineError::UnregisteredLetter(letter))?;
+        data.missed_probes += 1;
+        Ok(())
     }
 
     /// Record one cleaned observation.
-    pub fn record(&mut self, vp: VpId, letter: Letter, at: SimTime, obs: &CleanObs) {
+    pub fn record(
+        &mut self,
+        vp: VpId,
+        letter: Letter,
+        at: SimTime,
+        obs: &CleanObs,
+    ) -> Result<(), PipelineError> {
         if at >= self.cfg.horizon {
-            return;
+            return Ok(());
         }
         let bin = at.bin_index(self.cfg.bin) as u32;
-        let slot = self.slot(vp, letter);
+        let slot = self.slot(vp, letter)?;
 
         // Raster: per-probe timeline, padded for any missed slots.
         let probe_seq = (at.as_nanos() / self.cfg.probe_interval.as_nanos()) as usize;
         let n_probes = self.cfg.n_probes();
-        let data = self.letters.get_mut(&letter).expect("registered");
+        let data = self.letters.get_mut(&letter).expect("slot() checked");
+        let site_of = |data: &LetterData, id: &rootcast_dns::ServerIdentity| {
+            data.site_idx(&id.site)
+                .ok_or_else(|| PipelineError::UnknownSite {
+                    letter,
+                    site: id.site.clone(),
+                })
+        };
         let code = match obs {
             CleanObs::Timeout => raster_code::TIMEOUT,
             CleanObs::Error => raster_code::ERROR,
-            CleanObs::Site(id, _) => {
-                let idx = data
-                    .site_idx(&id.site)
-                    .unwrap_or_else(|| panic!("unknown site {} for {letter}", id.site));
-                raster_code::SITE_BASE + idx as u8
-            }
+            CleanObs::Site(id, _) => raster_code::SITE_BASE + site_of(data, id)? as u8,
         };
+        data.observed_probes += 1;
         if let Some(raster) = &mut data.raster {
             if probe_seq < n_probes {
                 let row = &mut raster[vp.0 as usize];
@@ -348,7 +426,8 @@ impl MeasurementPipeline {
             CleanObs::Timeout => BinBest::Timeout,
             CleanObs::Error => BinBest::Error,
             CleanObs::Site(id, rtt) => BinBest::Site {
-                site: data.site_idx(&id.site).expect("validated above"),
+                // Validated above when computing the raster code.
+                site: u16::from(code - raster_code::SITE_BASE),
                 server: id.server,
                 rtt: *rtt,
             },
@@ -356,6 +435,7 @@ impl MeasurementPipeline {
         if cand.rank() > state.best.rank() {
             state.best = cand;
         }
+        Ok(())
     }
 
     fn commit(data: &mut LetterData, vp: VpId, st: VpLetterState, rtt_subsample: u32) {
@@ -415,7 +495,17 @@ impl MeasurementPipeline {
         }
     }
 
+    /// Accumulated data for a letter, or `None` when it was never
+    /// registered — the graceful-degradation accessor analyses use.
+    pub fn try_letter(&self, letter: Letter) -> Option<&LetterData> {
+        self.letters.get(&letter)
+    }
+
     /// Accumulated data for a letter.
+    ///
+    /// # Panics
+    /// On an unregistered letter — asking for one is a programmer
+    /// error; use [`MeasurementPipeline::try_letter`] to degrade.
     pub fn letter(&self, letter: Letter) -> &LetterData {
         self.letters
             .get(&letter)
@@ -473,9 +563,12 @@ mod tests {
     #[test]
     fn success_counted_per_bin() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(1), &site_obs("AMS", 1, 30));
-        p.record(VpId(1), Letter::K, t(2), &site_obs("FRA", 1, 20));
-        p.record(VpId(2), Letter::K, t(3), &CleanObs::Timeout);
+        p.record(VpId(0), Letter::K, t(1), &site_obs("AMS", 1, 30))
+            .unwrap();
+        p.record(VpId(1), Letter::K, t(2), &site_obs("FRA", 1, 20))
+            .unwrap();
+        p.record(VpId(2), Letter::K, t(3), &CleanObs::Timeout)
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.success.values()[0], 2.0);
@@ -487,9 +580,12 @@ mod tests {
     #[test]
     fn site_preferred_over_error_and_timeout_within_bin() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(0), &CleanObs::Timeout);
-        p.record(VpId(0), Letter::K, t(4), &CleanObs::Error);
-        p.record(VpId(0), Letter::K, t(8), &site_obs("AMS", 1, 30));
+        p.record(VpId(0), Letter::K, t(0), &CleanObs::Timeout)
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(4), &CleanObs::Error)
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(8), &site_obs("AMS", 1, 30))
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.success.values()[0], 1.0);
@@ -499,8 +595,10 @@ mod tests {
     #[test]
     fn error_preferred_over_timeout() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(0), &CleanObs::Error);
-        p.record(VpId(0), Letter::K, t(4), &CleanObs::Timeout);
+        p.record(VpId(0), Letter::K, t(0), &CleanObs::Error)
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(4), &CleanObs::Timeout)
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.errors.values()[0], 1.0);
@@ -510,10 +608,14 @@ mod tests {
     #[test]
     fn flip_detected_across_bins() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20));
-        p.record(VpId(0), Letter::K, t(11), &site_obs("AMS", 1, 30));
-        p.record(VpId(0), Letter::K, t(21), &site_obs("AMS", 1, 30));
-        p.record(VpId(0), Letter::K, t(31), &site_obs("FRA", 1, 20));
+        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20))
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(11), &site_obs("AMS", 1, 30))
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(21), &site_obs("AMS", 1, 30))
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(31), &site_obs("FRA", 1, 20))
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         let total_flips: f64 = d.flips.values().iter().sum();
@@ -528,9 +630,12 @@ mod tests {
     #[test]
     fn timeout_gap_does_not_count_as_flip() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20));
-        p.record(VpId(0), Letter::K, t(11), &CleanObs::Timeout);
-        p.record(VpId(0), Letter::K, t(21), &site_obs("FRA", 1, 20));
+        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20))
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(11), &CleanObs::Timeout)
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(21), &site_obs("FRA", 1, 20))
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.flips.values().iter().sum::<f64>(), 0.0);
@@ -539,9 +644,12 @@ mod tests {
     #[test]
     fn gap_then_new_site_is_one_flip() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20));
-        p.record(VpId(0), Letter::K, t(11), &CleanObs::Timeout);
-        p.record(VpId(0), Letter::K, t(21), &site_obs("AMS", 1, 30));
+        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20))
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(11), &CleanObs::Timeout)
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(21), &site_obs("AMS", 1, 30))
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.flips.values().iter().sum::<f64>(), 1.0);
@@ -550,9 +658,12 @@ mod tests {
     #[test]
     fn watched_site_tracks_servers() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20));
-        p.record(VpId(1), Letter::K, t(2), &site_obs("FRA", 2, 25));
-        p.record(VpId(2), Letter::K, t(3), &site_obs("AMS", 1, 30)); // not watched
+        p.record(VpId(0), Letter::K, t(1), &site_obs("FRA", 1, 20))
+            .unwrap();
+        p.record(VpId(1), Letter::K, t(2), &site_obs("FRA", 2, 25))
+            .unwrap();
+        p.record(VpId(2), Letter::K, t(3), &site_obs("AMS", 1, 30))
+            .unwrap(); // not watched
         p.finalize();
         let d = p.letter(Letter::K);
         let fra = d.site_idx("FRA").unwrap();
@@ -567,9 +678,12 @@ mod tests {
     #[test]
     fn raster_records_probe_level_timeline() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(0), &site_obs("FRA", 1, 20));
-        p.record(VpId(0), Letter::K, t(4), &CleanObs::Timeout);
-        p.record(VpId(0), Letter::K, t(12), &site_obs("AMS", 1, 30));
+        p.record(VpId(0), Letter::K, t(0), &site_obs("FRA", 1, 20))
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(4), &CleanObs::Timeout)
+            .unwrap();
+        p.record(VpId(0), Letter::K, t(12), &site_obs("AMS", 1, 30))
+            .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         let row = &d.raster.as_ref().unwrap()[0];
@@ -584,8 +698,10 @@ mod tests {
     #[test]
     fn rtt_median_ms_converts_units() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::K, t(1), &site_obs("AMS", 1, 30));
-        p.record(VpId(1), Letter::K, t(2), &site_obs("AMS", 1, 50));
+        p.record(VpId(0), Letter::K, t(1), &site_obs("AMS", 1, 30))
+            .unwrap();
+        p.record(VpId(1), Letter::K, t(2), &site_obs("AMS", 1, 50))
+            .unwrap();
         p.finalize();
         let med = p.letter(Letter::K).rtt_median_ms();
         assert!((med.values()[0] - 40.0).abs() < 1e-9);
@@ -600,16 +716,63 @@ mod tests {
             Letter::K,
             SimTime::from_hours(2),
             &site_obs("AMS", 1, 30),
-        );
+        )
+        .unwrap();
         p.finalize();
         let d = p.letter(Letter::K);
         assert_eq!(d.success.values().iter().sum::<f64>(), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "not registered")]
-    fn unregistered_letter_panics() {
+    fn unregistered_letter_is_a_typed_error() {
         let mut p = pipeline();
-        p.record(VpId(0), Letter::E, t(0), &CleanObs::Timeout);
+        assert_eq!(
+            p.record(VpId(0), Letter::E, t(0), &CleanObs::Timeout),
+            Err(PipelineError::UnregisteredLetter(Letter::E))
+        );
+        assert_eq!(
+            p.note_missed(Letter::E, t(0)),
+            Err(PipelineError::UnregisteredLetter(Letter::E))
+        );
+        assert!(p.try_letter(Letter::E).is_none());
+    }
+
+    #[test]
+    fn unknown_site_and_oversized_vp_are_typed_errors() {
+        let mut p = pipeline();
+        assert_eq!(
+            p.record(VpId(0), Letter::K, t(0), &site_obs("ZRH", 1, 20)),
+            Err(PipelineError::UnknownSite {
+                letter: Letter::K,
+                site: "ZRH".into()
+            })
+        );
+        assert_eq!(
+            p.record(VpId(99), Letter::K, t(0), &CleanObs::Timeout),
+            Err(PipelineError::VpOutOfRange {
+                vp: VpId(99),
+                n_vps: 4
+            })
+        );
+    }
+
+    #[test]
+    fn missed_probes_reduce_coverage() {
+        let mut p = pipeline();
+        p.record(VpId(0), Letter::K, t(1), &site_obs("AMS", 1, 30))
+            .unwrap();
+        p.note_missed(Letter::K, t(5)).unwrap();
+        p.note_missed(Letter::K, t(9)).unwrap();
+        // Beyond-horizon slots ignored symmetrically with record().
+        p.note_missed(Letter::K, SimTime::from_hours(2)).unwrap();
+        p.finalize();
+        let cov = p.letter(Letter::K).coverage();
+        assert!((cov.fraction() - 1.0 / 3.0).abs() < 1e-12);
+        // A letter with no missed probes stays complete.
+        let mut q = pipeline();
+        q.record(VpId(0), Letter::K, t(1), &site_obs("AMS", 1, 30))
+            .unwrap();
+        q.finalize();
+        assert!(q.letter(Letter::K).coverage().is_complete());
     }
 }

@@ -27,8 +27,40 @@ pub struct TargetView {
     pub server: u16,
     /// Round-trip time if answered.
     pub rtt: SimDuration,
-    /// Probability the query or reply is dropped.
-    pub drop_prob: f64,
+    /// Probability the query or reply is dropped. Private: sanitized at
+    /// construction so `gen_bool` can never see NaN or out-of-range
+    /// values at probe time.
+    drop_prob: f64,
+}
+
+impl TargetView {
+    /// Build a view, sanitizing `drop_prob` once at construction:
+    /// values are clamped to `[0, 1]`, and NaN — a broken loss
+    /// estimate — fails *closed* to certain loss rather than feeding
+    /// `gen_bool` a panic.
+    pub fn new(
+        site_code: impl Into<String>,
+        server: u16,
+        rtt: SimDuration,
+        drop_prob: f64,
+    ) -> TargetView {
+        let drop_prob = if drop_prob.is_nan() {
+            1.0
+        } else {
+            drop_prob.clamp(0.0, 1.0)
+        };
+        TargetView {
+            site_code: site_code.into(),
+            server,
+            rtt,
+            drop_prob,
+        }
+    }
+
+    /// The sanitized drop probability, guaranteed finite in `[0, 1]`.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
 }
 
 /// A probe-able anycast service (implemented for `AnycastService` by the
@@ -102,8 +134,9 @@ pub fn execute_probe<T: ChaosTarget, R: Rng>(
             outcome: RawOutcome::Timeout,
         };
     };
-    // Loss: the query or its reply dies in a saturated queue.
-    if view.drop_prob > 0.0 && rng.gen_bool(view.drop_prob.clamp(0.0, 1.0)) {
+    // Loss: the query or its reply dies in a saturated queue. The
+    // probability was sanitized at TargetView construction.
+    if view.drop_prob > 0.0 && rng.gen_bool(view.drop_prob) {
         return RawMeasurement {
             vp: vp.id.0,
             letter,
@@ -168,12 +201,12 @@ mod tests {
     fn target(drop_prob: f64, rtt_ms: u64) -> FakeTarget {
         FakeTarget {
             letter: Letter::K,
-            view: Some(TargetView {
-                site_code: "AMS".into(),
-                server: 2,
-                rtt: SimDuration::from_millis(rtt_ms),
+            view: Some(TargetView::new(
+                "AMS",
+                2,
+                SimDuration::from_millis(rtt_ms),
                 drop_prob,
-            }),
+            )),
         }
     }
 
@@ -228,6 +261,24 @@ mod tests {
             .count();
         let frac = timeouts as f64 / n as f64;
         assert!((0.45..0.55).contains(&frac), "timeout fraction {frac}");
+    }
+
+    #[test]
+    fn nan_drop_prob_fails_closed_without_panicking() {
+        // A NaN loss estimate must never reach gen_bool (which panics on
+        // NaN); construction sanitizes it to certain loss.
+        let m = execute_probe(&vp(false), &target(f64::NAN, 30), SimTime::ZERO, &mut rng());
+        assert_eq!(m.outcome, RawOutcome::Timeout);
+    }
+
+    #[test]
+    fn out_of_range_drop_prob_clamps_at_construction() {
+        let v = TargetView::new("AMS", 1, SimDuration::from_millis(30), 7.5);
+        assert_eq!(v.drop_prob(), 1.0);
+        let v = TargetView::new("AMS", 1, SimDuration::from_millis(30), -0.3);
+        assert_eq!(v.drop_prob(), 0.0);
+        let m = execute_probe(&vp(false), &target(-0.3, 30), SimTime::ZERO, &mut rng());
+        assert!(matches!(m.outcome, RawOutcome::Reply { .. }));
     }
 
     #[test]

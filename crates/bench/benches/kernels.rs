@@ -137,7 +137,8 @@ fn bench_pipeline(c: &mut Criterion) {
                     } else {
                         CleanObs::Site(id.clone(), SimDuration::from_millis(30))
                     };
-                    p.record(VpId((i % 500) as u32), Letter::K, t, &obs);
+                    p.record(VpId((i % 500) as u32), Letter::K, t, &obs)
+                        .unwrap();
                 }
                 p.finalize();
                 black_box(p)

@@ -29,12 +29,12 @@ fn bench_simulation(c: &mut Criterion) {
     g.sample_size(10);
     for &n_vps in &[100usize, 400, 1000] {
         g.bench_with_input(BenchmarkId::new("vps", n_vps), &n_vps, |b, &n| {
-            b.iter(|| black_box(sim::run(&cfg_with(n, 2))))
+            b.iter(|| black_box(sim::run(&cfg_with(n, 2)).expect("valid scenario")))
         });
     }
     for &hours in &[1u64, 2, 4] {
         g.bench_with_input(BenchmarkId::new("hours", hours), &hours, |b, &h| {
-            b.iter(|| black_box(sim::run(&cfg_with(400, h))))
+            b.iter(|| black_box(sim::run(&cfg_with(400, h)).expect("valid scenario")))
         });
     }
     g.finish();

@@ -25,7 +25,7 @@ pub fn bench_scenario() -> &'static SimOutput {
             targets: AttackSchedule::nov2015_targets(),
             rate_qps: 3_000_000.0,
         }]);
-        sim::run(&cfg)
+        sim::run(&cfg).expect("valid scenario")
     })
 }
 

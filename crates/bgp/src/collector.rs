@@ -13,7 +13,7 @@
 //! per final change.
 
 use crate::engine::Rib;
-use rootcast_netsim::{BinnedSeries, SimDuration, SimTime};
+use rootcast_netsim::{BinnedSeries, Coverage, SimDuration, SimTime};
 use rootcast_topology::AsId;
 
 /// One logged batch of updates at a collector.
@@ -35,6 +35,11 @@ pub struct RouteCollector {
     /// Extra transient updates per real change, modeling path exploration.
     exploration_factor: usize,
     log: Vec<UpdateBatch>,
+    /// When `Some`, the collector is dark (feed outage) since that time:
+    /// observations update peer state but log nothing.
+    dark_since: Option<SimTime>,
+    /// Closed blackout windows, for coverage accounting.
+    blackouts: Vec<(SimTime, SimTime)>,
 }
 
 impl RouteCollector {
@@ -46,6 +51,8 @@ impl RouteCollector {
             last: vec![None; n],
             exploration_factor: 2,
             log: Vec::new(),
+            dark_since: None,
+            blackouts: Vec::new(),
         }
     }
 
@@ -73,7 +80,7 @@ impl RouteCollector {
                 self.last[i] = now;
             }
         }
-        if changed > 0 {
+        if changed > 0 && self.dark_since.is_none() {
             self.log.push(UpdateBatch {
                 at: t,
                 changed_peers: changed,
@@ -81,6 +88,49 @@ impl RouteCollector {
             });
         }
         changed
+    }
+
+    /// Start or end a feed blackout at time `t`. While dark the
+    /// collector keeps tracking peer state (the routers do not stop
+    /// routing) but records no updates — modeling a BGPmon observation
+    /// gap. Redundant transitions are no-ops.
+    pub fn set_dark(&mut self, t: SimTime, dark: bool) {
+        match (self.dark_since, dark) {
+            (None, true) => self.dark_since = Some(t),
+            (Some(from), false) => {
+                self.blackouts.push((from, t));
+                self.dark_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Is the feed currently dark?
+    pub fn is_dark(&self) -> bool {
+        self.dark_since.is_some()
+    }
+
+    /// Observation coverage over `[0, horizon)`: the fraction of wall
+    /// time the feed was recording. An open blackout extends to the
+    /// horizon.
+    pub fn coverage(&self, horizon: SimTime) -> Coverage {
+        let total = horizon.as_secs_f64();
+        let mut missed = 0.0;
+        for &(from, to) in &self.blackouts {
+            let to = to.min(horizon);
+            if to > from {
+                missed += (to - from).as_secs_f64();
+            }
+        }
+        if let Some(from) = self.dark_since {
+            if horizon > from {
+                missed += (horizon - from).as_secs_f64();
+            }
+        }
+        Coverage {
+            observed: (total - missed).max(0.0),
+            expected: total,
+        }
     }
 
     /// The raw update log.
@@ -156,6 +206,37 @@ mod tests {
             assert_eq!(c.log().len(), 1);
             assert_eq!(c.log()[0].messages, changed * 3);
         }
+    }
+
+    #[test]
+    fn blackout_suppresses_logging_and_reports_coverage() {
+        let (g, stubs) = build();
+        let origins = [origin(stubs[0]), origin(stubs[1])];
+        let before = compute_rib_scoped(&g, &origins, &[true, true]);
+        let after = compute_rib_scoped(&g, &origins, &[false, true]);
+        let mut c = RouteCollector::new(stubs[2..12].to_vec());
+        c.prime(&before);
+        c.set_dark(SimTime::from_mins(5), true);
+        assert!(c.is_dark());
+        // Changes during the blackout update state but log nothing.
+        c.observe(SimTime::from_mins(10), &after);
+        assert!(c.log().is_empty());
+        c.set_dark(SimTime::from_mins(20), false);
+        assert!(!c.is_dark());
+        // Re-observing the same table after the blackout stays quiet:
+        // the dark observation already absorbed the diff.
+        assert_eq!(c.observe(SimTime::from_mins(21), &after), 0);
+        let cov = c.coverage(SimTime::from_mins(60));
+        assert!((cov.fraction() - 45.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn open_blackout_extends_to_horizon() {
+        let (_, stubs) = build();
+        let mut c = RouteCollector::new(stubs[2..4].to_vec());
+        c.set_dark(SimTime::from_mins(30), true);
+        let cov = c.coverage(SimTime::from_mins(60));
+        assert!((cov.fraction() - 0.5).abs() < 1e-9);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::render::{num, TextTable};
 use crate::sim::SimOutput;
 use rootcast_dns::Letter;
+use rootcast_netsim::Coverage;
 use serde::Serialize;
 
 /// One (letter, event-day) row of Table 3.
@@ -37,6 +38,10 @@ pub struct Table3Row {
     pub unique_ratio: f64,
     /// Baseline queries, Mq/s (the rightmost columns of Table 3).
     pub baseline_mqps: f64,
+    /// How much of the day's accounting the letter actually observed.
+    /// `< 1.0` when monitoring gaps thinned the record — the deltas
+    /// above are then partial, exactly like the real Table 3 caveats.
+    pub coverage: Coverage,
 }
 
 /// Aggregate bounds for one event day.
@@ -84,7 +89,11 @@ pub fn table3(out: &SimOutput) -> Table3 {
 
     let mut rows = Vec::new();
     for (&letter, collector) in &out.rssac {
-        let baseline = &out.rssac_baseline[&letter];
+        // A letter with no synthesized baseline cannot produce deltas:
+        // degrade to a partial table rather than panicking.
+        let Some(baseline) = out.rssac_baseline.get(&letter) else {
+            continue;
+        };
         let attacked = attacked_letters.contains(&letter);
         for (day, &secs) in event_secs
             .iter()
@@ -96,30 +105,40 @@ pub fn table3(out: &SimOutput) -> Table3 {
                 continue;
             }
             // Prorate the (full-day) baseline to the fraction of the day
-            // actually observed — short test horizons cover partial days.
+            // inside the horizon — short test horizons cover partial days.
             let day_start = day as u64 * 86_400;
-            let observed = (out.horizon.as_secs().saturating_sub(day_start)).min(86_400) as f64;
-            let coverage = observed / 86_400.0;
-            let dq = (report.queries - baseline.queries * coverage).max(0.0);
-            let dr = (report.responses - baseline.responses * coverage).max(0.0);
+            let in_horizon = (out.horizon.as_secs().saturating_sub(day_start)).min(86_400) as f64;
+            let horizon_frac = in_horizon / 86_400.0;
+            let dq = (report.queries - baseline.queries * horizon_frac).max(0.0);
+            let dr = (report.responses - baseline.responses * horizon_frac).max(0.0);
             // Δ traffic concentrated in the event window, like the paper.
             let dq_mqps = dq / secs / 1e6;
             let dr_mqps = dr / secs / 1e6;
             // Mean packet sizes from the event-day histograms (dominated
-            // by the attack bins during events).
+            // by the attack bins during events). An empty histogram (the
+            // whole day gapped out) has no mean size; the delta is zero
+            // there, so the traffic estimate is too.
             let q_pkt = report.query_sizes.mean_size() + 28.0;
             let r_pkt = report.response_sizes.mean_size() + 28.0;
+            let gbps = |delta: f64, pkt: f64| {
+                if delta > 0.0 {
+                    delta * pkt * 8.0 / secs / 1e9
+                } else {
+                    0.0
+                }
+            };
             rows.push(Table3Row {
                 letter,
                 day,
                 attacked,
                 dq_mqps,
-                dq_gbps: dq * q_pkt * 8.0 / secs / 1e9,
+                dq_gbps: gbps(dq, q_pkt),
                 dr_mqps,
-                dr_gbps: dr * r_pkt * 8.0 / secs / 1e9,
+                dr_gbps: gbps(dr, r_pkt),
                 unique_m: report.unique_sources / 1e6,
                 unique_ratio: report.unique_sources / baseline.unique_sources.max(1.0),
                 baseline_mqps: baseline.queries / 86_400.0 / 1e6,
+                coverage: report.coverage,
             });
         }
     }

@@ -115,7 +115,7 @@ pub(crate) mod fixture {
                 targets: AttackSchedule::nov2015_targets(),
                 rate_qps: 3_000_000.0,
             }]);
-            run(&cfg)
+            run(&cfg).expect("valid scenario")
         })
     }
 }

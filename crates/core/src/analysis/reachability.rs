@@ -8,7 +8,7 @@ use crate::render::{num, sparkline, TextTable};
 use crate::sim::SimOutput;
 use rootcast_dns::Letter;
 use rootcast_netsim::stats::{linear_regression, Regression};
-use rootcast_netsim::BinnedSeries;
+use rootcast_netsim::{BinnedSeries, Coverage};
 use serde::Serialize;
 
 /// One letter's reachability summary.
@@ -26,6 +26,10 @@ pub struct LetterRow {
     pub worst: f64,
     /// `worst / baseline` — the survival fraction.
     pub survival: f64,
+    /// Fraction of the letter's scheduled probes that produced usable
+    /// observations. `< 1.0` when probe-fleet faults thinned the view —
+    /// the series (and `worst`) then under-state the letter's health.
+    pub coverage: Coverage,
 }
 
 /// The full Figure 3 result.
@@ -45,7 +49,11 @@ pub struct Figure3 {
 pub fn figure3(out: &SimOutput) -> Figure3 {
     let mut rows = Vec::with_capacity(out.letters.len());
     for (i, &letter) in out.letters.iter().enumerate() {
-        let data = out.pipeline.letter(letter);
+        // A letter the pipeline never registered yields no row — a
+        // partial figure, not a panic.
+        let Some(data) = out.pipeline.try_letter(letter) else {
+            continue;
+        };
         // A-root was probed every 30 min vs 4 min for others (§2.4.1):
         // with 10-minute bins only a fraction of VPs have a probe
         // scheduled per bin, so we scale its series by the ratio of its
@@ -69,6 +77,7 @@ pub fn figure3(out: &SimOutput) -> Figure3 {
             } else {
                 f64::NAN
             },
+            coverage: data.coverage(),
             series,
             baseline,
             worst,

@@ -2,10 +2,55 @@
 //! Nov 30 – Dec 1 2015 reproduction and a scaled-down test variant.
 
 use crate::deployment::facilities;
+use crate::engine::faults::{FaultKind, FaultPlan};
 use rootcast_atlas::{FleetParams, PipelineConfig};
 use rootcast_attack::{AttackSchedule, BotnetParams, DEFAULT_LEGIT_TOTAL_QPS};
+use rootcast_dns::Name;
 use rootcast_netsim::{SimDuration, SimTime};
 use rootcast_topology::TopologyParams;
+use std::fmt;
+
+/// A scenario configuration that fails its invariants, with enough
+/// context to fix the offending knob. Returned by
+/// [`ScenarioConfig::validate`] and surfaced through
+/// [`RootcastError`](crate::error::RootcastError) by the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// Horizon, cadence, or interval invariants broken.
+    BadTiming(String),
+    /// A rate or capacity is non-finite or out of range.
+    BadRate(String),
+    /// Fleet sizing or probability knobs out of range.
+    BadFleet(String),
+    /// An attack window fails to parse or is inconsistent.
+    BadAttack(String),
+    /// A fault spec in the plan is malformed.
+    BadFault(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadTiming(m) => write!(f, "bad timing: {m}"),
+            ConfigError::BadRate(m) => write!(f, "bad rate: {m}"),
+            ConfigError::BadFleet(m) => write!(f, "bad fleet: {m}"),
+            ConfigError::BadAttack(m) => write!(f, "bad attack window: {m}"),
+            ConfigError::BadFault(m) => write!(f, "bad fault spec: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A probability knob: finite and within `[0, 1]`.
+fn check_fraction(name: &str, v: f64) -> Result<(), ConfigError> {
+    if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+        return Err(ConfigError::BadFleet(format!(
+            "{name} must be a probability in [0, 1], got {v}"
+        )));
+    }
+    Ok(())
+}
 
 /// Full scenario configuration.
 #[derive(Debug, Clone)]
@@ -39,6 +84,9 @@ pub struct ScenarioConfig {
     pub include_nl: bool,
     /// Legitimate .nl query load, q/s (both anycast sites combined).
     pub nl_qps: f64,
+    /// Scheduled fault injection (empty by default: no faults, and the
+    /// run is bit-identical to one without the injector subsystem).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioConfig {
@@ -70,6 +118,7 @@ impl ScenarioConfig {
             maintenance_mean: Some(SimDuration::from_mins(90)),
             include_nl: true,
             nl_qps: 80_000.0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -89,5 +138,190 @@ impl ScenarioConfig {
         cfg.pipeline.horizon = cfg.horizon;
         cfg.pipeline.rtt_subsample = 2;
         cfg
+    }
+
+    /// Check every invariant a run depends on. Called by
+    /// [`run`](crate::sim::run) before any state is built, so a bad
+    /// knob fails fast with a typed error instead of a mid-run panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.horizon <= SimTime::ZERO {
+            return Err(ConfigError::BadTiming("horizon must be positive".into()));
+        }
+        if self.fluid_step.is_zero()
+            || !SimDuration::from_mins(1)
+                .as_nanos()
+                .is_multiple_of(self.fluid_step.as_nanos())
+        {
+            return Err(ConfigError::BadTiming(format!(
+                "fluid_step must be positive and divide one minute, got {:?}",
+                self.fluid_step
+            )));
+        }
+        for (name, iv) in [
+            ("probe_interval", self.probe_interval),
+            ("a_probe_interval", self.a_probe_interval),
+        ] {
+            if iv.is_zero() || iv.as_secs() % 60 != 0 {
+                return Err(ConfigError::BadTiming(format!(
+                    "{name} must be a positive whole number of minutes, got {iv:?}"
+                )));
+            }
+        }
+        if self.resolver_update.is_zero() {
+            return Err(ConfigError::BadTiming(
+                "resolver_update must be positive".into(),
+            ));
+        }
+        if self.pipeline.bin.is_zero() {
+            return Err(ConfigError::BadTiming(
+                "pipeline.bin must be positive".into(),
+            ));
+        }
+        for (name, rate) in [
+            ("legit_total_qps", self.legit_total_qps),
+            ("nl_qps", self.nl_qps),
+        ] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(ConfigError::BadRate(format!(
+                    "{name} must be finite and non-negative, got {rate}"
+                )));
+            }
+        }
+        let mut seen = Vec::new();
+        for &(fid, cap) in &self.facility_capacities {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(ConfigError::BadRate(format!(
+                    "facility #{} capacity must be finite and positive, got {cap}",
+                    fid.0
+                )));
+            }
+            if seen.contains(&fid) {
+                return Err(ConfigError::BadRate(format!(
+                    "facility #{} registered twice",
+                    fid.0
+                )));
+            }
+            seen.push(fid);
+        }
+        if self.fleet.n_vps == 0 {
+            return Err(ConfigError::BadFleet("fleet needs at least one VP".into()));
+        }
+        check_fraction("old_firmware_fraction", self.fleet.old_firmware_fraction)?;
+        check_fraction("hijacked_fraction", self.fleet.hijacked_fraction)?;
+        check_fraction("flaky_fraction", self.fleet.flaky_fraction)?;
+        for w in self.attack.windows() {
+            if let Err(e) = Name::parse(&w.qname) {
+                return Err(ConfigError::BadAttack(format!(
+                    "qname {:?} does not parse: {e}",
+                    w.qname
+                )));
+            }
+            if !w.rate_qps.is_finite() || w.rate_qps < 0.0 {
+                return Err(ConfigError::BadAttack(format!(
+                    "rate {} q/s must be finite and non-negative",
+                    w.rate_qps
+                )));
+            }
+            if w.duration.is_zero() {
+                return Err(ConfigError::BadAttack(
+                    "window duration must be positive".into(),
+                ));
+            }
+        }
+        for spec in &self.faults.faults {
+            if spec.duration.is_zero() {
+                return Err(ConfigError::BadFault(format!(
+                    "{} has zero duration",
+                    spec.kind
+                )));
+            }
+            match &spec.kind {
+                FaultKind::SiteCrash { site, .. } if site.is_empty() => {
+                    return Err(ConfigError::BadFault("site code is empty".into()));
+                }
+                FaultKind::RssacCorrupt { factor, .. }
+                    if !factor.is_finite() || !(0.0..=1.0).contains(factor) =>
+                {
+                    return Err(ConfigError::BadFault(format!(
+                        "corrupt factor must be in [0, 1], got {factor}"
+                    )));
+                }
+                FaultKind::ProbeDropout { fraction, .. }
+                | FaultKind::FirmwareDowngrade { fraction }
+                    if !fraction.is_finite() || !(0.0..=1.0).contains(fraction) =>
+                {
+                    return Err(ConfigError::BadFault(format!(
+                        "fault fraction must be in [0, 1], got {fraction}"
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_configs_validate() {
+        assert_eq!(ScenarioConfig::nov2015().validate(), Ok(()));
+        assert_eq!(ScenarioConfig::small().validate(), Ok(()));
+    }
+
+    #[test]
+    fn broken_knobs_are_rejected_with_typed_errors() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::ZERO;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadTiming(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.probe_interval = SimDuration::from_secs(90);
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadTiming(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.legit_total_qps = f64::NAN;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadRate(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.facility_capacities.push((facilities::FRA_SHARED, 1.0));
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadRate(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.fleet.hijacked_fraction = 1.5;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadFleet(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.attack = AttackSchedule::new(vec![rootcast_attack::AttackWindow {
+            start: SimTime::from_mins(1),
+            duration: SimDuration::from_mins(1),
+            qname: "bad..name".into(),
+            targets: AttackSchedule::nov2015_targets(),
+            rate_qps: 1.0,
+        }]);
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadAttack(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.faults = FaultPlan::none().with(
+            SimTime::from_mins(1),
+            SimDuration::from_mins(5),
+            FaultKind::ProbeDropout {
+                fraction: f64::NAN,
+                letters: vec![],
+            },
+        );
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadFault(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.faults = FaultPlan::none().with(
+            SimTime::from_mins(1),
+            SimDuration::ZERO,
+            FaultKind::RssacGap {
+                letter: rootcast_dns::Letter::H,
+            },
+        );
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadFault(_))));
     }
 }

@@ -77,6 +77,37 @@ impl Subsystem for FluidTraffic {
             svc.advance_queues(t, off, &world.facility_table);
         }
 
+        // Conservation audit (debug builds): per site, every offered
+        // query is either dropped at the shared facility, dropped at the
+        // site queue, or served — nothing is created or lost between the
+        // offered split and the loss fields the accounting reads.
+        #[cfg(debug_assertions)]
+        for (svc, off) in world.services.iter().zip(&offered) {
+            for (site, &offered_qps) in svc.sites().iter().zip(off) {
+                assert!(
+                    offered_qps.is_finite() && offered_qps >= 0.0,
+                    "site {}: offered load {offered_qps} is not a finite non-negative rate",
+                    site.spec.code
+                );
+                assert!(
+                    site.offered_qps == offered_qps,
+                    "site {}: queue advanced with {} q/s but the window offered {offered_qps} q/s",
+                    site.spec.code,
+                    site.offered_qps
+                );
+                let fac_dropped = offered_qps * site.facility_loss;
+                let queue_dropped = (offered_qps - fac_dropped) * site.last_loss;
+                let served = offered_qps * (1.0 - site.facility_loss) * (1.0 - site.last_loss);
+                let balance = fac_dropped + queue_dropped + served;
+                assert!(
+                    (balance - offered_qps).abs() <= 1e-9 * offered_qps.max(1.0),
+                    "site {}: offered {offered_qps} q/s but accounted {balance} q/s \
+                     (facility drop {fac_dropped} + queue drop {queue_dropped} + served {served})",
+                    site.spec.code
+                );
+            }
+        }
+
         // Per-letter load and queue-depth instrumentation.
         for (i, svc) in world.services.iter().enumerate() {
             let Some(letter) = svc.letter else { continue };

@@ -6,6 +6,7 @@
 //! state — observers see the run but cannot influence it, so a run's
 //! outputs are identical whether or not anything is listening.
 
+use crate::engine::faults::InjectedFault;
 use rootcast_anycast::RoutingChanges;
 use rootcast_dns::Letter;
 use rootcast_netsim::{SimDuration, SimTime};
@@ -40,6 +41,10 @@ pub trait Instrumentation {
 
     /// A stress policy changed routing (withdrawal / re-announcement).
     fn on_policy_transition(&mut self, _t: SimTime, _letter: Letter, _changes: &RoutingChanges) {}
+
+    /// The fault injector applied a transition (injection or recovery)
+    /// from the scenario's [`FaultPlan`](crate::engine::FaultPlan).
+    fn on_fault(&mut self, _t: SimTime, _fault: &InjectedFault) {}
 }
 
 /// The do-nothing observer.
@@ -69,6 +74,9 @@ pub struct RunStats {
     pub deepest_queue: Option<(Letter, String, SimDuration)>,
     /// Total routing transitions driven by stress policies.
     pub policy_transitions: u64,
+    /// Every fault transition the injector applied, in order — the
+    /// run's injected-fault ledger.
+    pub faults: Vec<InjectedFault>,
 }
 
 impl RunStats {
@@ -138,6 +146,10 @@ impl Instrumentation for StatsCollector {
     fn on_policy_transition(&mut self, _t: SimTime, _letter: Letter, changes: &RoutingChanges) {
         self.stats.policy_transitions += changes.len() as u64;
     }
+
+    fn on_fault(&mut self, _t: SimTime, fault: &InjectedFault) {
+        self.stats.faults.push(fault.clone());
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +194,13 @@ mod tests {
         n.on_subsystem_tick("x", SimTime::ZERO, Duration::ZERO);
         n.on_letter_load(SimTime::ZERO, Letter::A, 1.0, 1.0);
         n.on_queue_depth(SimTime::ZERO, Letter::A, "AMS", SimDuration::ZERO);
+        n.on_fault(
+            SimTime::ZERO,
+            &InjectedFault {
+                at: SimTime::ZERO,
+                action: crate::engine::faults::FaultAction::Inject,
+                description: "rssac-gap H".into(),
+            },
+        );
     }
 }

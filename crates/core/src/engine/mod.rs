@@ -7,7 +7,7 @@
 //! and therefore every output — is a pure function of the scenario
 //! seed.
 //!
-//! The five production subsystems mirror the activities the paper's
+//! The six production subsystems mirror the activities the paper's
 //! driver interleaves:
 //!
 //! * [`FluidTraffic`] — per-minute fluid windows: offered load over
@@ -20,7 +20,12 @@
 //! * [`MaintenanceChurn`] — background operator maintenance noise.
 //! * [`RssacAccounting`] — RSSAC byte/query accounting and the `.nl`
 //!   served-rate series, reading the fluid scratchpad.
+//! * [`FaultInjector`] — scheduled, seed-deterministic fault injection
+//!   from the scenario's [`FaultPlan`] (site crashes, monitoring gaps,
+//!   probe dropout waves, collector blackouts). With an empty plan it
+//!   never wakes and the run is bit-identical to one without it.
 
+pub mod faults;
 pub mod fluid;
 pub mod instrument;
 pub mod maintenance;
@@ -29,6 +34,10 @@ pub mod resolvers;
 pub mod rssac;
 pub mod world;
 
+pub use faults::{
+    FaultAction, FaultInjector, FaultKind, FaultPlan, FaultSpec, FaultState, InjectedFault,
+    ProbeAction,
+};
 pub use fluid::FluidTraffic;
 pub use instrument::{Instrumentation, NoopInstrumentation, RunStats, StatsCollector};
 pub use maintenance::MaintenanceChurn;

@@ -8,6 +8,7 @@
 //! stream and results are merged in letter order, so outputs are
 //! bit-identical at any thread count.
 
+use crate::engine::faults::ProbeAction;
 use crate::engine::{SimWorld, Subsystem};
 use rayon::prelude::*;
 use rootcast_anycast::AnycastService;
@@ -27,12 +28,12 @@ impl ChaosTarget for ServiceTarget<'_> {
 
     fn view(&self, asn: rootcast_topology::AsId, client_hash: u64) -> Option<TargetView> {
         let pv = self.svc.probe_view(asn, client_hash)?;
-        Some(TargetView {
-            site_code: self.svc.site(pv.site).spec.code.clone(),
-            server: pv.server,
-            rtt: pv.rtt,
-            drop_prob: pv.drop_prob,
-        })
+        Some(TargetView::new(
+            self.svc.site(pv.site).spec.code.clone(),
+            pv.server,
+            pv.rtt,
+            pv.drop_prob,
+        ))
     }
 }
 
@@ -113,13 +114,17 @@ impl Subsystem for ProbeWheel {
         for &(vp_id, i) in self.due(minute) {
             per_letter[i].push(vp_id);
         }
-        let (services, fleet, letters, rngf) = (
+        let (services, fleet, letters, rngf, faults) = (
             &world.services,
             &world.fleet,
             &world.letters,
             world.rng_factory,
+            &world.faults,
         );
-        let results: Vec<Vec<(VpId, CleanObs)>> = (0..letters.len())
+        // `None` observations are missed probes: a dropped-out VP never
+        // probes (no RNG draw), a firmware-downgraded VP probes (same
+        // draws as a healthy run) but its measurement is unusable.
+        let results: Vec<Vec<(VpId, Option<CleanObs>)>> = (0..letters.len())
             .into_par_iter()
             .map(|i| {
                 let letter = letters[i];
@@ -127,10 +132,18 @@ impl Subsystem for ProbeWheel {
                 let target = ServiceTarget { svc: &services[i] };
                 per_letter[i]
                     .iter()
-                    .map(|&vp_id| {
-                        let vp = fleet.vp(VpId(vp_id));
-                        let m = execute_probe(vp, &target, t, &mut rng);
-                        (vp.id, clean_outcome(&m))
+                    .map(|&vp_id| match faults.probe_action(vp_id, letter) {
+                        ProbeAction::Skip => (VpId(vp_id), None),
+                        ProbeAction::Discard => {
+                            let vp = fleet.vp(VpId(vp_id));
+                            let _ = execute_probe(vp, &target, t, &mut rng);
+                            (vp.id, None)
+                        }
+                        ProbeAction::Normal => {
+                            let vp = fleet.vp(VpId(vp_id));
+                            let m = execute_probe(vp, &target, t, &mut rng);
+                            (vp.id, Some(clean_outcome(&m)))
+                        }
                     })
                     .collect()
             })
@@ -138,7 +151,16 @@ impl Subsystem for ProbeWheel {
         for (i, letter_obs) in results.into_iter().enumerate() {
             let letter = world.letters[i];
             for (vp, obs) in letter_obs {
-                world.pipeline.record(vp, letter, t, &obs);
+                let recorded = match obs {
+                    Some(obs) => world.pipeline.record(vp, letter, t, &obs),
+                    None => world.pipeline.note_missed(letter, t),
+                };
+                if let Err(err) = recorded {
+                    // The wheel only probes letters the world registered,
+                    // so this is a programmer error, not data to skip.
+                    debug_assert!(false, "pipeline rejected wheel observation: {err}");
+                    let _ = err;
+                }
             }
         }
         vec![t + SimDuration::from_mins(1)]

@@ -116,9 +116,18 @@ impl Subsystem for RssacAccounting {
 
         for (i, svc) in world.services.iter().enumerate() {
             let Some(letter) = svc.letter else { continue };
+            let fault_factor = world.faults.rssac_factor(letter);
             let Some(collector) = world.rssac.get_mut(&letter) else {
                 continue;
             };
+            // A gapped reporting window: the letter served traffic (the
+            // physics above this tick are untouched) but its measurement
+            // apparatus recorded nothing. Mark the window unobserved and
+            // skip both the collector and the per-day accumulators.
+            if fault_factor.is_some_and(|f| f <= 0.0) {
+                collector.note_window(window_start, dt, false);
+                continue;
+            }
             let atk_rate = cfg.attack.rate_for(letter, window_start);
             let stressed = atk_rate > 0.0;
             // Served per site splits proportionally between attack and
@@ -131,6 +140,14 @@ impl Subsystem for RssacAccounting {
                 atk_served += atk;
                 leg_served += (world.fluid.offered[i][s] * pass) - atk;
             }
+            // A corrupted window under-reports by the fault's factor.
+            // Fault-free windows skip the multiplication entirely so
+            // their accounting stays bit-identical to a plan-less run.
+            if let Some(f) = fault_factor {
+                atk_served *= f;
+                leg_served *= f;
+            }
+            collector.note_window(window_start, dt, true);
             // RRL suppresses most attack responses (fixed qname,
             // heavy-hitter sources) — Verisign reported 60%.
             let suppression = blended_suppression(

@@ -4,6 +4,7 @@
 
 use crate::config::ScenarioConfig;
 use crate::deployment::{self, LetterDeployment};
+use crate::engine::faults::FaultState;
 use crate::engine::instrument::Instrumentation;
 use crate::engine::probes::ServiceTarget;
 use rand::Rng;
@@ -81,6 +82,9 @@ pub struct SimWorld<'a> {
     pub nl_series: Vec<BinnedSeries>,
     pub deployments: Vec<LetterDeployment>,
     pub fluid: FluidScratch,
+    /// Live fault state written by the injector and consulted by the
+    /// probing and accounting subsystems. Empty when no plan is active.
+    pub faults: FaultState,
     pub obs: &'a mut dyn Instrumentation,
 }
 
@@ -230,6 +234,7 @@ impl<'a> SimWorld<'a> {
             nl_series,
             deployments,
             fluid: FluidScratch::default(),
+            faults: FaultState::default(),
             obs,
         }
     }

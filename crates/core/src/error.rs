@@ -1,0 +1,87 @@
+//! The crate-wide typed error hierarchy.
+//!
+//! Hand-rolled (no new dependencies): one umbrella enum wrapping the
+//! per-layer error types, with `From` impls so fallible paths compose
+//! with `?` across crate boundaries. Every error carries enough context
+//! to act on without a backtrace.
+
+use crate::config::ConfigError;
+use rootcast_atlas::PipelineError;
+use rootcast_dns::{NameError, WireError};
+use std::fmt;
+
+/// Any error a rootcast driver or analysis can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RootcastError {
+    /// The scenario configuration failed validation.
+    Config(ConfigError),
+    /// DNS wire-format parsing failed.
+    Wire(WireError),
+    /// Domain-name parsing failed.
+    Name(NameError),
+    /// The measurement pipeline rejected an operation.
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for RootcastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RootcastError::Config(e) => write!(f, "scenario config: {e}"),
+            RootcastError::Wire(e) => write!(f, "dns wire format: {e}"),
+            RootcastError::Name(e) => write!(f, "domain name: {e}"),
+            RootcastError::Pipeline(e) => write!(f, "measurement pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RootcastError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RootcastError::Config(e) => Some(e),
+            RootcastError::Wire(e) => Some(e),
+            RootcastError::Name(e) => Some(e),
+            RootcastError::Pipeline(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for RootcastError {
+    fn from(e: ConfigError) -> RootcastError {
+        RootcastError::Config(e)
+    }
+}
+
+impl From<WireError> for RootcastError {
+    fn from(e: WireError) -> RootcastError {
+        RootcastError::Wire(e)
+    }
+}
+
+impl From<NameError> for RootcastError {
+    fn from(e: NameError) -> RootcastError {
+        RootcastError::Name(e)
+    }
+}
+
+impl From<PipelineError> for RootcastError {
+    fn from(e: PipelineError) -> RootcastError {
+        RootcastError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_and_displays_layer_errors() {
+        let e: RootcastError = WireError::Truncated.into();
+        assert!(e.to_string().contains("wire"));
+        assert!(e.source().is_some());
+
+        let e: RootcastError = ConfigError::BadTiming("horizon".into()).into();
+        assert!(matches!(e, RootcastError::Config(_)));
+        assert!(e.to_string().contains("horizon"));
+    }
+}

@@ -14,7 +14,7 @@
 //! use rootcast::{ScenarioConfig, sim};
 //!
 //! let cfg = ScenarioConfig::small();
-//! let out = sim::run(&cfg);
+//! let out = sim::run(&cfg).expect("valid scenario");
 //! let k = out.pipeline.letter(rootcast::Letter::K);
 //! println!("K-root successful VPs per bin: {:?}", k.success.values());
 //! ```
@@ -23,13 +23,17 @@ pub mod analysis;
 pub mod config;
 pub mod deployment;
 pub mod engine;
+pub mod error;
 pub mod policy_model;
 pub mod render;
 pub mod sim;
 
-pub use config::ScenarioConfig;
+pub use config::{ConfigError, ScenarioConfig};
 pub use deployment::{nl_deployment, nov2015_deployments, LetterDeployment};
-pub use engine::{Instrumentation, NoopInstrumentation, RunStats, Subsystem};
+pub use engine::{
+    FaultKind, FaultPlan, FaultSpec, Instrumentation, NoopInstrumentation, RunStats, Subsystem,
+};
+pub use error::RootcastError;
 pub use sim::{run, run_observed, SimOutput};
 
 // Re-export the vocabulary types users need to consume the outputs.

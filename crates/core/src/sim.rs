@@ -3,9 +3,11 @@
 //!
 //! ## Structure of a run
 //!
-//! [`run`] builds a [`SimWorld`](crate::engine::SimWorld) (topology,
-//! services, traffic sources, the calibrated VP fleet) and drives five
-//! subsystems against it on one deterministic schedule:
+//! [`run`] validates the configuration
+//! ([`ScenarioConfig::validate`]), builds a
+//! [`SimWorld`](crate::engine::SimWorld) (topology, services, traffic
+//! sources, the calibrated VP fleet) and drives six subsystems against
+//! it on one deterministic schedule:
 //!
 //! * [`FluidTraffic`](crate::engine::FluidTraffic) (every minute):
 //!   distribute attack + legitimate load over each service's current
@@ -22,15 +24,21 @@
 //!   RTT/loss — the letter-flip mechanism (§3.2.2).
 //! * [`MaintenanceChurn`](crate::engine::MaintenanceChurn): background
 //!   operator maintenance noise.
+//! * [`FaultInjector`](crate::engine::FaultInjector) (seeded last, so
+//!   same-instant faults land after production ticks): scheduled fault
+//!   injection from the scenario's
+//!   [`FaultPlan`](crate::engine::FaultPlan). An empty plan never
+//!   wakes, leaving the run bit-identical to a five-subsystem one.
 //!
 //! Everything is deterministic in the scenario seed, at any rayon
 //! thread count.
 
 use crate::deployment::{self, LetterDeployment};
 use crate::engine::{
-    drive, FluidTraffic, Instrumentation, MaintenanceChurn, ProbeWheel, ResolverRefresh,
-    RssacAccounting, RunStats, SimWorld, StatsCollector, Subsystem,
+    drive, FaultInjector, FluidTraffic, Instrumentation, MaintenanceChurn, ProbeWheel,
+    ResolverRefresh, RssacAccounting, RunStats, SimWorld, StatsCollector, Subsystem,
 };
+use crate::error::RootcastError;
 use rootcast_anycast::AnycastService;
 use rootcast_atlas::{CleaningReport, MeasurementPipeline};
 use rootcast_attack::{AttackSchedule, Botnet};
@@ -69,23 +77,29 @@ pub struct SimOutput {
 }
 
 /// Run the scenario to completion with the default stats-collecting
-/// observer.
-pub fn run(cfg: &ScenarioConfig) -> SimOutput {
+/// observer. Fails fast with a typed error when the configuration
+/// breaks an invariant ([`ScenarioConfig::validate`]).
+pub fn run(cfg: &ScenarioConfig) -> Result<SimOutput, RootcastError> {
     let mut stats = StatsCollector::default();
-    let mut out = run_observed(cfg, &mut stats);
+    let mut out = run_observed(cfg, &mut stats)?;
     out.run_stats = stats.finish();
-    out
+    Ok(out)
 }
 
 /// Run the scenario with a caller-supplied [`Instrumentation`]
 /// observer. The observer sees the run but cannot influence it: outputs
 /// are bit-identical for any observer.
-pub fn run_observed(cfg: &ScenarioConfig, obs: &mut dyn Instrumentation) -> SimOutput {
+pub fn run_observed(
+    cfg: &ScenarioConfig,
+    obs: &mut dyn Instrumentation,
+) -> Result<SimOutput, RootcastError> {
+    cfg.validate()?;
     let rng_factory = SimRng::new(cfg.seed);
     let mut world = SimWorld::build(cfg, &rng_factory, obs);
 
     // Seeding order is the same-instant tie-break: accounting must
-    // follow the fluid step whose window it settles.
+    // follow the fluid step whose window it settles, and faults apply
+    // after every production subsystem has ticked the instant.
     let mut subsystems: Vec<Box<dyn Subsystem>> = vec![
         Box::new(FluidTraffic::new(cfg.fluid_step)),
         Box::new(RssacAccounting::new(cfg)),
@@ -94,6 +108,10 @@ pub fn run_observed(cfg: &ScenarioConfig, obs: &mut dyn Instrumentation) -> SimO
         Box::new(MaintenanceChurn::new(
             rng_factory.stream("maintenance"),
             cfg.maintenance_mean,
+        )),
+        Box::new(FaultInjector::new(
+            rng_factory.stream("faults"),
+            cfg.faults.clone(),
         )),
     ];
     drive(&mut world, &mut subsystems, cfg.horizon);
@@ -125,7 +143,7 @@ pub fn run_observed(cfg: &ScenarioConfig, obs: &mut dyn Instrumentation) -> SimO
         })
         .unwrap_or_default();
 
-    SimOutput {
+    Ok(SimOutput {
         letters,
         pipeline,
         n_vps_kept: cleaning.kept_count(),
@@ -141,7 +159,7 @@ pub fn run_observed(cfg: &ScenarioConfig, obs: &mut dyn Instrumentation) -> SimO
         probe_interval: cfg.probe_interval,
         a_probe_interval: cfg.a_probe_interval,
         run_stats: RunStats::default(),
-    }
+    })
 }
 
 /// Build the scenario's services and report, for each letter, the
@@ -198,7 +216,7 @@ mod tests {
             targets: AttackSchedule::nov2015_targets(),
             rate_qps: 2_000_000.0,
         }]);
-        run(&cfg)
+        run(&cfg).expect("valid scenario")
     }
 
     #[test]
@@ -244,9 +262,11 @@ mod tests {
         assert!(out.rssac.contains_key(&Letter::A));
         // .nl series exist.
         assert_eq!(out.nl_sites.len(), 2);
-        // The default observer collected engine stats: all five
-        // subsystems ticked, and load extremes were recorded.
+        // The default observer collected engine stats: the five
+        // production subsystems ticked (the fault injector never wakes
+        // on an empty plan), and load extremes were recorded.
         assert_eq!(out.run_stats.subsystems.len(), 5);
+        assert!(out.run_stats.faults.is_empty());
         for name in ["fluid", "rssac", "probes", "resolvers", "maintenance"] {
             assert!(
                 out.run_stats.subsystems.contains_key(name),
@@ -265,8 +285,8 @@ mod tests {
         let mut cfg = ScenarioConfig::small();
         cfg.horizon = SimTime::from_mins(40);
         cfg.pipeline.horizon = cfg.horizon;
-        let a = run(&cfg);
-        let b = run(&cfg);
+        let a = run(&cfg).expect("valid scenario");
+        let b = run(&cfg).expect("valid scenario");
         for &l in &a.letters {
             assert_eq!(
                 a.pipeline.letter(l).success.values(),

@@ -287,6 +287,43 @@ mod tests {
     }
 
     #[test]
+    fn every_prefix_of_a_compressed_name_parses_or_errors() {
+        // Truncation sweep over a pointer-compressed encoding: no prefix
+        // may panic, and decoding at any in-range start offset must also
+        // return cleanly.
+        let mut buf = BytesMut::new();
+        Name::parse("example.com").unwrap().encode(&mut buf);
+        let ptr_at = buf.len();
+        buf.put_u8(3);
+        buf.put_slice(b"www");
+        buf.put_u8(0xC0);
+        buf.put_u8(0);
+        for cut in 0..buf.len() {
+            let _ = Name::decode(&buf[..cut], ptr_at.min(cut.saturating_sub(1)));
+        }
+        for start in 0..buf.len() + 2 {
+            let _ = Name::decode(&buf, start);
+        }
+        assert!(Name::decode(&buf, ptr_at).is_ok());
+    }
+
+    #[test]
+    fn pointer_loop_is_rejected_not_infinite() {
+        // a chain of strictly-backwards pointers longer than the jump
+        // budget must error out, not hang.
+        let mut buf = BytesMut::new();
+        buf.put_u8(0); // offset 0: root, a valid terminator
+        for i in 0..40u16 {
+            // each pointer at offset 1+2i targets the previous pointer
+            let target = if i == 0 { 0 } else { 1 + 2 * (i - 1) };
+            buf.put_u8(0xC0 | (target >> 8) as u8);
+            buf.put_u8((target & 0xFF) as u8);
+        }
+        let last = buf.len() - 2;
+        assert_eq!(Name::decode(&buf, last), Err(NameError::BadPointer));
+    }
+
+    #[test]
     fn subdomain_relationships() {
         let root = Name::root();
         let com = Name::parse("com").unwrap();

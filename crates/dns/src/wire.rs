@@ -718,6 +718,90 @@ mod tests {
         }
     }
 
+    /// A complex message exercising every rdata decoder and the name
+    /// compressor: SOA + 13-NS referral + glue + TXT + OPT.
+    fn complex_message() -> Message {
+        let q = a_query();
+        let mut r = q.response_to(Rcode::NoError);
+        let com = Name::parse("com").unwrap();
+        r.answers.push(Record {
+            name: Name::root(),
+            rtype: RrType::Soa,
+            class: RrClass::In,
+            ttl: 86400,
+            rdata: Rdata::Soa {
+                mname: Name::parse("a.root-servers.net").unwrap(),
+                rname: Name::parse("nstld.verisign-grs.com").unwrap(),
+                serial: 2015113000,
+                refresh: 1800,
+                retry: 900,
+                expire: 604800,
+                minimum: 86400,
+            },
+        });
+        r.answers.push(Record {
+            name: com.clone(),
+            rtype: RrType::Txt,
+            class: RrClass::Chaos,
+            ttl: 0,
+            rdata: Rdata::Txt(vec![b"k1.ams-ix.k.ripe.net".to_vec(), b"x".to_vec()]),
+        });
+        for i in 0..13u8 {
+            let ns = Name::parse(&format!("{}.gtld-servers.net", (b'a' + i) as char)).unwrap();
+            r.authorities.push(Record {
+                name: com.clone(),
+                rtype: RrType::Ns,
+                class: RrClass::In,
+                ttl: 172800,
+                rdata: Rdata::Ns(ns.clone()),
+            });
+            r.additionals.push(Record {
+                name: ns.clone(),
+                rtype: RrType::A,
+                class: RrClass::In,
+                ttl: 172800,
+                rdata: Rdata::A([192, 5, 6, 30 + i]),
+            });
+            r.additionals.push(Record {
+                name: ns,
+                rtype: RrType::Aaaa,
+                class: RrClass::In,
+                ttl: 172800,
+                rdata: Rdata::Aaaa([0x20, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, i]),
+            });
+        }
+        r.additionals.push(edns0_opt(4096));
+        r
+    }
+
+    #[test]
+    fn every_prefix_of_a_valid_packet_parses_or_errors() {
+        // Fuzz-style truncation sweep: decoding any prefix of a valid
+        // packet must return Ok or Err — never panic (slice-index or
+        // otherwise). The full message must still round-trip.
+        let msg = complex_message();
+        let wire = msg.encode();
+        for cut in 0..wire.len() {
+            let _ = Message::decode(&wire[..cut]);
+        }
+        assert_eq!(Message::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        // Flip every byte position to a handful of adversarial values
+        // (pointer prefixes, max label length, zero). Decode may accept
+        // or reject, but must not panic.
+        let wire = complex_message().encode();
+        for pos in 0..wire.len() {
+            for val in [0x00, 0x3F, 0x40, 0x80, 0xC0, 0xFF] {
+                let mut bad = wire.clone();
+                bad[pos] = val;
+                let _ = Message::decode(&bad);
+            }
+        }
+    }
+
     #[test]
     fn flags_roundtrip() {
         let mut m = a_query();

@@ -28,6 +28,7 @@
 //! the benchmark harness for parameter sweeps) happens only *across*
 //! independent simulations, never inside one.
 
+pub mod coverage;
 pub mod event;
 pub mod rate;
 pub mod rng;
@@ -35,6 +36,7 @@ pub mod series;
 pub mod stats;
 pub mod time;
 
+pub use coverage::Coverage;
 pub use event::EventQueue;
 pub use rand_chacha::ChaCha8Rng;
 pub use rate::{FluidQueue, RateSignal};

@@ -15,7 +15,7 @@
 //! under-reporting the estimation procedure must correct for.
 
 use rootcast_dns::Letter;
-use rootcast_netsim::{SimDuration, SimTime};
+use rootcast_netsim::{Coverage, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -30,7 +30,10 @@ pub struct SizeHistogram {
 
 impl SizeHistogram {
     pub fn add(&mut self, size_bytes: usize, count: f64) {
-        assert!(count >= 0.0);
+        debug_assert!(count.is_finite() && count >= 0.0, "bad count {count}");
+        if !(count.is_finite() && count > 0.0) {
+            return;
+        }
         let bin = (size_bytes / SIZE_BIN * SIZE_BIN) as u32;
         *self.bins.entry(bin).or_insert(0.0) += count;
     }
@@ -50,7 +53,7 @@ impl SizeHistogram {
     pub fn dominant_bin(&self) -> Option<(u32, f64)> {
         self.bins
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite counts"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(&b, &c)| (b, c))
     }
 
@@ -83,6 +86,10 @@ pub struct DailyReport {
     pub unique_sources: f64,
     pub query_sizes: SizeHistogram,
     pub response_sizes: SizeHistogram,
+    /// How much of the day's accounting window was actually observed.
+    /// `< 1.0` when monitoring gaps (injected or otherwise) thinned the
+    /// record — the consumer should treat the totals as partial.
+    pub coverage: Coverage,
 }
 
 impl DailyReport {
@@ -130,6 +137,7 @@ struct DayAcc {
     unique_sources: f64,
     query_sizes: SizeHistogram,
     response_sizes: SizeHistogram,
+    coverage: Coverage,
 }
 
 impl RssacCollector {
@@ -195,9 +203,41 @@ impl RssacCollector {
         }
     }
 
-    /// Produce the day's report.
+    /// Record whether the accounting window `[from, from+dt)` was
+    /// actually observed by the monitoring pipeline. Drivers call this
+    /// once per accounting step; a report gap notes the window with
+    /// `observed = false`, pushing the day's [`Coverage`] below 1.0.
+    /// Out-of-range days are ignored, like [`RssacCollector::add_fluid`].
+    pub fn note_window(&mut self, from: SimTime, dt: SimDuration, observed: bool) {
+        if dt.is_zero() {
+            return;
+        }
+        let day = Self::day_index(from);
+        if let Some(acc) = self.days.get_mut(day) {
+            acc.coverage.note(dt.as_secs_f64(), observed);
+        }
+    }
+
+    /// Produce the day's report. A day outside the collector's range —
+    /// e.g. a consumer asking for day 1 of a short scenario — yields an
+    /// empty report with zero coverage instead of panicking, so analyses
+    /// degrade to partial results.
     pub fn report(&self, day: usize) -> DailyReport {
-        let acc = &self.days[day];
+        let Some(acc) = self.days.get(day) else {
+            return DailyReport {
+                letter: self.letter,
+                day: day as u32,
+                queries: 0.0,
+                responses: 0.0,
+                unique_sources: 0.0,
+                query_sizes: SizeHistogram::default(),
+                response_sizes: SizeHistogram::default(),
+                coverage: Coverage {
+                    observed: 0.0,
+                    expected: 86_400.0,
+                },
+            };
+        };
         DailyReport {
             letter: self.letter,
             day: day as u32,
@@ -206,6 +246,7 @@ impl RssacCollector {
             unique_sources: acc.unique_sources,
             query_sizes: acc.query_sizes.clone(),
             response_sizes: acc.response_sizes.clone(),
+            coverage: acc.coverage,
         }
     }
 
@@ -348,5 +389,28 @@ mod tests {
         let h = SizeHistogram::default();
         assert!(h.mean_size().is_nan());
         assert_eq!(h.dominant_bin(), None);
+    }
+
+    #[test]
+    fn out_of_range_day_reports_empty_with_zero_coverage() {
+        let c = RssacCollector::new(Letter::K, 1, 1.0);
+        let r = c.report(5);
+        assert_eq!(r.queries, 0.0);
+        assert_eq!(r.day, 5);
+        assert_eq!(r.coverage.fraction(), 0.0);
+    }
+
+    #[test]
+    fn noted_gaps_reduce_coverage() {
+        let mut c = RssacCollector::new(Letter::H, 1, 1.0);
+        c.note_window(t(0), SimDuration::from_hours(6), true);
+        c.note_window(t(6), SimDuration::from_hours(2), false);
+        let cov = c.report(0).coverage;
+        assert!((cov.fraction() - 6.0 / 8.0).abs() < 1e-12);
+        // Collectors that never note windows stay "complete".
+        let quiet = RssacCollector::new(Letter::A, 1, 1.0);
+        assert!(quiet.report(0).coverage.is_complete());
+        // Out-of-range windows are ignored, not panics.
+        c.note_window(t(30), SimDuration::from_hours(1), false);
     }
 }

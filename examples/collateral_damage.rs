@@ -23,7 +23,7 @@ fn run_variant(shared: bool) -> rootcast::SimOutput {
             *cap = 1e12;
         }
     }
-    sim::run(&cfg)
+    sim::run(&cfg).expect("valid scenario")
 }
 
 fn main() {

@@ -20,7 +20,7 @@ fn main() {
         cfg.fleet.n_vps, cfg.horizon
     );
     let t0 = std::time::Instant::now();
-    let out = sim::run(&cfg);
+    let out = sim::run(&cfg).expect("valid scenario");
     println!(
         "done in {:.1?}: {} ASes, {} VPs kept after cleaning\n",
         t0.elapsed(),

@@ -46,7 +46,7 @@ fn main() {
             .unwrap_or(0.0),
     );
     let t0 = std::time::Instant::now();
-    let out = sim::run(&cfg);
+    let out = sim::run(&cfg).expect("valid scenario");
     eprintln!("simulation finished in {:.1?}\n", t0.elapsed());
 
     let mut tables: Vec<(&str, TextTable)> = Vec::new();

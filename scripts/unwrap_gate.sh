@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fail the build if non-test `unwrap()` use creeps back into the layers
+# that were converted to typed errors. Lines inside a file's trailing
+# `#[cfg(test)]` module do not count: tests may unwrap freely.
+#
+# The per-directory baselines below are the post-conversion counts.
+# Lowering a baseline after removing unwraps is encouraged; raising one
+# needs a very good reason in review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+declare -A BASELINE=(
+  [crates/dns/src]=0
+  [crates/atlas/src]=0
+  [crates/rssac/src]=0
+  [crates/core/src/analysis]=0
+)
+
+status=0
+for dir in "${!BASELINE[@]}"; do
+  count=0
+  while IFS= read -r file; do
+    in_file=$(awk '/#\[cfg\(test\)\]/ { in_test = 1 } !in_test' "$file" \
+      | grep -c '\.unwrap(' || true)
+    count=$((count + in_file))
+  done < <(find "$dir" -name '*.rs')
+  allowed=${BASELINE[$dir]}
+  if ((count > allowed)); then
+    echo "FAIL $dir: $count non-test unwrap() calls (baseline $allowed)" >&2
+    status=1
+  else
+    echo "ok   $dir: $count non-test unwrap() calls (baseline $allowed)"
+  fi
+done
+
+if ((status != 0)); then
+  echo >&2
+  echo "Replace unwrap() with typed errors (RootcastError and friends)" >&2
+  echo "or graceful degradation; see DESIGN.md's fault-model section." >&2
+fi
+exit "$status"

@@ -8,7 +8,9 @@
 //! default-pool runs and one forced single-thread run of
 //! `ScenarioConfig::small()` must agree bit for bit.
 
-use rootcast::{run, ScenarioConfig, SimOutput};
+use rootcast::{
+    run, FaultKind, FaultPlan, Letter, ScenarioConfig, SimDuration, SimOutput, SimTime,
+};
 
 /// A bit-exact digest of everything the analysis layer consumes.
 /// Floats are compared through `to_bits`, so "close" is not enough.
@@ -65,17 +67,79 @@ fn summarize(out: &SimOutput) -> Summary {
 fn small_scenario_is_bit_identical_across_runs_and_thread_counts() {
     let cfg = ScenarioConfig::small();
 
-    let first = summarize(&run(&cfg));
-    let second = summarize(&run(&cfg));
+    let first = summarize(&run(&cfg).expect("valid scenario"));
+    let second = summarize(&run(&cfg).expect("valid scenario"));
     assert_eq!(first, second, "two identical runs diverged");
 
     let single = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
         .build()
         .expect("single-thread pool")
-        .install(|| summarize(&run(&cfg)));
+        .install(|| summarize(&run(&cfg).expect("valid scenario")));
     assert_eq!(
         first, single,
         "single-thread run diverged from the default pool"
+    );
+}
+
+#[test]
+fn fault_runs_are_bit_identical_across_thread_counts() {
+    // Same property with every fault kind in play: the injector draws
+    // from its own RNG stream on the single-threaded engine loop, so
+    // faulted runs must stay a pure function of (seed, plan) too.
+    let mut cfg = ScenarioConfig::small();
+    cfg.faults = FaultPlan::none()
+        .with(
+            SimTime::from_mins(15),
+            SimDuration::from_mins(30),
+            FaultKind::SiteCrash {
+                letter: Letter::B,
+                site: "LAX".into(),
+            },
+        )
+        .with(
+            SimTime::from_mins(20),
+            SimDuration::from_mins(45),
+            FaultKind::RssacGap { letter: Letter::H },
+        )
+        .with(
+            SimTime::from_mins(25),
+            SimDuration::from_mins(60),
+            FaultKind::RssacCorrupt {
+                letter: Letter::K,
+                factor: 0.4,
+            },
+        )
+        .with(
+            SimTime::from_mins(10),
+            SimDuration::from_mins(50),
+            FaultKind::ProbeDropout {
+                fraction: 0.3,
+                letters: vec![Letter::E, Letter::F],
+            },
+        )
+        .with(
+            SimTime::from_mins(30),
+            SimDuration::from_mins(40),
+            FaultKind::FirmwareDowngrade { fraction: 0.2 },
+        )
+        .with(
+            SimTime::from_mins(5),
+            SimDuration::from_mins(90),
+            FaultKind::CollectorBlackout { letter: Letter::K },
+        );
+
+    let first = summarize(&run(&cfg).expect("valid scenario"));
+    let second = summarize(&run(&cfg).expect("valid scenario"));
+    assert_eq!(first, second, "two identical fault runs diverged");
+
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool")
+        .install(|| summarize(&run(&cfg).expect("valid scenario")));
+    assert_eq!(
+        first, single,
+        "single-thread fault run diverged from the default pool"
     );
 }

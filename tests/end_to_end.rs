@@ -28,7 +28,7 @@ fn scenario() -> &'static SimOutput {
             targets: AttackSchedule::nov2015_targets(),
             rate_qps: 3_000_000.0,
         }]);
-        sim::run(&cfg)
+        sim::run(&cfg).expect("valid scenario")
     })
 }
 

@@ -29,7 +29,7 @@ fn with_rate(rate_qps: f64) -> ScenarioConfig {
 fn no_attack_means_no_damage() {
     let mut cfg = base_cfg();
     cfg.attack = AttackSchedule::quiet();
-    let out = sim::run(&cfg);
+    let out = sim::run(&cfg).expect("valid scenario");
     let fig = reachability::figure3(&out);
     for row in &fig.rows {
         // With no event windows, survival is NaN ("no event observed");
@@ -53,8 +53,8 @@ fn no_attack_means_no_damage() {
 
 #[test]
 fn bigger_attack_hurts_more() {
-    let small = sim::run(&with_rate(500_000.0));
-    let large = sim::run(&with_rate(4_000_000.0));
+    let small = sim::run(&with_rate(500_000.0)).expect("valid scenario");
+    let large = sim::run(&with_rate(4_000_000.0)).expect("valid scenario");
     let surv = |out: &rootcast::SimOutput, l: Letter| {
         reachability::figure3(out)
             .rows
@@ -88,7 +88,7 @@ fn bigger_attack_hurts_more() {
 fn attack_below_all_capacities_is_invisible() {
     // 50 kq/s spread over catchments is far below every site's capacity
     // (§2.2 case 1: A0 + A1 < s1 for everyone).
-    let out = sim::run(&with_rate(50_000.0));
+    let out = sim::run(&with_rate(50_000.0)).expect("valid scenario");
     let fig = reachability::figure3(&out);
     for row in &fig.rows {
         assert!(
@@ -107,7 +107,7 @@ fn different_seeds_same_shape() {
     for seed in [1u64, 77, 4242] {
         let mut cfg = with_rate(3_000_000.0);
         cfg.seed = seed;
-        let out = sim::run(&cfg);
+        let out = sim::run(&cfg).expect("valid scenario");
         let fig = reachability::figure3(&out);
         let b = fig.rows.iter().find(|r| r.letter == Letter::B).unwrap();
         let l = fig.rows.iter().find(|r| r.letter == Letter::L).unwrap();
@@ -122,7 +122,7 @@ fn maintenance_noise_off_means_quiet_baseline() {
     let mut cfg = base_cfg();
     cfg.attack = AttackSchedule::quiet();
     cfg.maintenance_mean = None;
-    let out = sim::run(&cfg);
+    let out = sim::run(&cfg).expect("valid scenario");
     // Without maintenance or attack, collectors log nothing.
     let total_updates: usize = out.collectors.values().map(|c| c.total_messages()).sum();
     assert_eq!(total_updates, 0, "spurious route churn");
@@ -144,7 +144,7 @@ fn probe_interval_change_preserves_conclusions() {
     let mut cfg = with_rate(3_000_000.0);
     cfg.probe_interval = SimDuration::from_mins(8);
     cfg.pipeline.probe_interval = SimDuration::from_mins(8);
-    let out = sim::run(&cfg);
+    let out = sim::run(&cfg).expect("valid scenario");
     let fig = reachability::figure3(&out);
     let b = fig.rows.iter().find(|r| r.letter == Letter::B).unwrap();
     assert!(

@@ -34,12 +34,12 @@ impl ChaosTarget for Adapter<'_> {
     }
     fn view(&self, asn: AsId, client_hash: u64) -> Option<TargetView> {
         let pv = self.0.probe_view(asn, client_hash)?;
-        Some(TargetView {
-            site_code: self.0.site(pv.site).spec.code.clone(),
-            server: pv.server,
-            rtt: pv.rtt,
-            drop_prob: pv.drop_prob,
-        })
+        Some(TargetView::new(
+            self.0.site(pv.site).spec.code.clone(),
+            pv.server,
+            pv.rtt,
+            pv.drop_prob,
+        ))
     }
 }
 
@@ -90,7 +90,8 @@ fn manual_wiring_topology_to_pipeline() {
                 continue;
             }
             let m = execute_probe(vp, &Adapter(&svc), t, &mut prng);
-            pipe.record(vp.id, Letter::K, t, &clean_outcome(&m));
+            pipe.record(vp.id, Letter::K, t, &clean_outcome(&m))
+                .expect("K is registered");
         }
         t += SimDuration::from_mins(5);
     }
