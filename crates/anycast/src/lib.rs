@@ -22,5 +22,5 @@ pub mod site;
 
 pub use facility::FacilityTable;
 pub use policy::{LoadBalancerMode, OverloadTracker, StressPolicy};
-pub use service::{AnycastService, ProbeView, RoutingChanges};
+pub use service::{AnycastService, CatchmentIndex, ProbeView, RoutingChanges};
 pub use site::{FacilityId, SiteIdx, SiteSpec, SiteState};

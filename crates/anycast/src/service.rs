@@ -10,7 +10,7 @@
 use crate::facility::FacilityTable;
 use crate::policy::StressPolicy;
 use crate::site::{SiteIdx, SiteSpec, SiteState};
-use rootcast_bgp::{compute_rib_scoped, Origin, Rib};
+use rootcast_bgp::{compute_rib_scoped_into, Origin, Rib, RibScratch};
 use rootcast_dns::Letter;
 use rootcast_netsim::{SimDuration, SimTime};
 use rootcast_topology::{AsGraph, AsId};
@@ -44,6 +44,58 @@ pub struct AnycastService {
     /// Per-AS last-mile delay (indexed by `AsId.0`), snapshotted from the
     /// topology at construction; added to probe RTTs.
     access: Vec<SimDuration>,
+    /// Catchment epoch: bumped by every RIB recompute, never by anything
+    /// else. A [`CatchmentIndex`] built at epoch E stays valid until the
+    /// service reports a different epoch.
+    epoch: u64,
+    /// The table before the most recent recompute (double-buffered with
+    /// `rib` so recomputes reuse allocations).
+    rib_prev: Rib,
+    /// Per-AS flag: did this AS's chosen route change in the most recent
+    /// recompute? Valid whenever `epoch > 1`.
+    changed: Vec<bool>,
+    /// Reusable announcement buffer for recomputes.
+    active: Vec<bool>,
+    rib_scratch: RibScratch,
+}
+
+/// Cached per-site weight sums for one `(service RIB, weight vector)`
+/// pair, turning [`AnycastService::offered_per_site`]'s O(n_AS) walk into
+/// an O(n_sites) fill. Owned by the caller (one index per weight vector),
+/// refreshed via [`AnycastService::refresh_catchment_index`], which is a
+/// no-op while both the catchment epoch and the weight version are
+/// unchanged.
+///
+/// Caching is a pure reformulation: the cached fill and the uncached
+/// [`AnycastService::offered_per_site`] share the same two-pass
+/// arithmetic, so results are bit-identical by construction.
+#[derive(Debug, Clone, Default)]
+pub struct CatchmentIndex {
+    /// Epoch this index was built at (0 = never built).
+    epoch: u64,
+    /// Version of the weight vector this index was built from (0 = never
+    /// built; caller-managed versions start at 1).
+    weights_version: u64,
+    /// Sum over all weights (routed or not), the normalization term.
+    wsum: f64,
+    /// Per-site sum of weights of the ASes in that site's catchment.
+    site_wsum: Vec<f64>,
+}
+
+impl CatchmentIndex {
+    /// Fill `out` with the offered load per site for a total rate, using
+    /// the cached sums: `out[s] = total_qps * site_wsum[s] / wsum`, or
+    /// all zeros when the rate or the weight mass is non-positive.
+    pub fn offered_per_site_into(&self, total_qps: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(self.site_wsum.len(), 0.0);
+        if total_qps <= 0.0 || self.wsum <= 0.0 {
+            return;
+        }
+        for (o, &sw) in out.iter_mut().zip(&self.site_wsum) {
+            *o = total_qps * sw / self.wsum;
+        }
+    }
 }
 
 /// Outcome of a policy step: which sites changed announcement state.
@@ -84,7 +136,9 @@ impl AnycastService {
             .collect();
         let sites: Vec<SiteState> = site_specs.into_iter().map(SiteState::new).collect();
         let active: Vec<bool> = sites.iter().map(|s| s.announced).collect();
-        let rib = compute_rib_scoped(graph, &origins, &active);
+        let mut rib = Rib::unreachable(graph.len());
+        let mut rib_scratch = RibScratch::default();
+        compute_rib_scoped_into(graph, &origins, &active, &mut rib, &mut rib_scratch);
         let access = (0..graph.len() as u32)
             .map(|i| graph.access_delay(rootcast_topology::AsId(i)))
             .collect();
@@ -95,6 +149,11 @@ impl AnycastService {
             origins,
             rib,
             access,
+            epoch: 1,
+            rib_prev: Rib::unreachable(graph.len()),
+            changed: vec![false; graph.len()],
+            active,
+            rib_scratch,
         }
     }
 
@@ -116,6 +175,19 @@ impl AnycastService {
         &self.rib
     }
 
+    /// The catchment epoch: changes exactly when the RIB does. Consumers
+    /// caching anything derived from catchments key their cache on this.
+    pub fn catchment_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Per-AS flags from the most recent recompute: `changed_ases()[asn]`
+    /// is set iff that AS's chosen route differs from the previous epoch.
+    /// Before any recompute (epoch 1) all flags are false.
+    pub fn changed_ases(&self) -> &[bool] {
+        &self.changed
+    }
+
     /// The site whose catchment contains `asn`, if the service is
     /// reachable from there.
     pub fn catchment_site(&self, asn: AsId) -> Option<SiteIdx> {
@@ -127,22 +199,61 @@ impl AnycastService {
     /// of the total load sourced in that AS (need not be normalized;
     /// ASes without a route contribute nothing — their queries die in
     /// the network).
+    ///
+    /// Contract: `weights` must have exactly one entry per AS in the
+    /// graph the service was built over (`weights.len() == n_ases`);
+    /// debug builds assert this, release builds would misattribute load
+    /// or panic mid-iteration on a short vector. Returns all zeros when
+    /// `total_qps <= 0` or the weight mass is non-positive.
+    ///
+    /// This is the uncached entry point: it rebuilds a throwaway
+    /// [`CatchmentIndex`] and runs the same fill as the cached path, so
+    /// the two are bit-identical by construction. Hot loops should hold a
+    /// `CatchmentIndex` and use [`Self::refresh_catchment_index`] +
+    /// [`CatchmentIndex::offered_per_site_into`] instead.
     pub fn offered_per_site(&self, weights: &[f64], total_qps: f64) -> Vec<f64> {
-        let mut per_site = vec![0.0; self.sites.len()];
-        if total_qps <= 0.0 {
-            return per_site;
+        let mut idx = CatchmentIndex::default();
+        self.refresh_catchment_index(&mut idx, weights, 1);
+        let mut out = Vec::new();
+        idx.offered_per_site_into(total_qps, &mut out);
+        out
+    }
+
+    /// Bring `idx` up to date with the current RIB and weight vector.
+    /// No-op while both the catchment epoch and `weights_version` match
+    /// what the index was built from; otherwise the per-site weight sums
+    /// are rebuilt in one O(n_AS) pass. `weights_version` is a
+    /// caller-managed counter identifying the weight vector's content
+    /// (bump it whenever the vector is rewritten; must be ≥ 1).
+    pub fn refresh_catchment_index(
+        &self,
+        idx: &mut CatchmentIndex,
+        weights: &[f64],
+        weights_version: u64,
+    ) {
+        debug_assert!(weights_version > 0, "weight versions start at 1");
+        if idx.epoch == self.epoch && idx.weights_version == weights_version {
+            return;
         }
-        let wsum: f64 = weights.iter().sum();
-        if wsum <= 0.0 {
-            return per_site;
-        }
+        debug_assert_eq!(
+            weights.len(),
+            self.access.len(),
+            "{}: weight vector has {} entries but the graph has {} ASes",
+            self.name,
+            weights.len(),
+            self.access.len()
+        );
+        idx.wsum = weights.iter().sum();
+        idx.site_wsum.clear();
+        idx.site_wsum.resize(self.sites.len(), 0.0);
         for (asn, route) in self.rib.iter() {
             let w = weights[asn.0 as usize];
             if w > 0.0 {
-                per_site[route.origin.0 as usize] += total_qps * w / wsum;
+                idx.site_wsum[route.origin.0 as usize] += w;
             }
         }
-        per_site
+        idx.epoch = self.epoch;
+        idx.weights_version = weights_version;
     }
 
     /// Phase 1 of a fluid step: account the offered load into facility
@@ -239,8 +350,21 @@ impl AnycastService {
     }
 
     fn recompute_rib(&mut self, graph: &AsGraph) {
-        let active: Vec<bool> = self.sites.iter().map(|s| s.announced).collect();
-        self.rib = compute_rib_scoped(graph, &self.origins, &active);
+        self.active.clear();
+        self.active.extend(self.sites.iter().map(|s| s.announced));
+        // Double-buffer: the outgoing table becomes the scratch target of
+        // the next recompute, and diffing the two yields the exact set of
+        // ASes whose routes moved (consumed by the collector fast path).
+        std::mem::swap(&mut self.rib, &mut self.rib_prev);
+        compute_rib_scoped_into(
+            graph,
+            &self.origins,
+            &self.active,
+            &mut self.rib,
+            &mut self.rib_scratch,
+        );
+        self.rib.diff_into(&self.rib_prev, &mut self.changed);
+        self.epoch += 1;
     }
 
     /// What a probe from `asn` (client hash `client_hash`) would see
@@ -266,10 +390,21 @@ impl AnycastService {
     /// offered × (1 − facility loss) × (1 − queue loss). Feeds RSSAC
     /// query counters.
     pub fn served_per_site(&self) -> Vec<f64> {
-        self.sites
-            .iter()
-            .map(|s| s.offered_qps * (1.0 - s.facility_loss) * (1.0 - s.last_loss))
-            .collect()
+        let mut out = Vec::new();
+        self.served_per_site_into(&mut out);
+        out
+    }
+
+    /// [`Self::served_per_site`] into a caller-owned buffer.
+    pub fn served_per_site_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.sites.iter().map(|s| s.served_qps()));
+    }
+
+    /// Total served rate across all sites (same summation order as
+    /// summing [`Self::served_per_site`]), without allocating.
+    pub fn served_total(&self) -> f64 {
+        self.sites.iter().map(|s| s.served_qps()).sum()
     }
 
     /// Indices of currently announced sites.
@@ -316,6 +451,49 @@ mod tests {
         let total: f64 = per_site.iter().sum();
         assert!((total - 1000.0).abs() < 1e-6, "total={total}");
         assert!(per_site.iter().all(|&q| q > 0.0), "{per_site:?}");
+    }
+
+    #[test]
+    fn catchment_index_matches_uncached_and_tracks_epoch() {
+        let (g, mut svc, _) = build();
+        let weights: Vec<f64> = (0..g.len()).map(|i| (i % 7) as f64 * 0.25).collect();
+        let mut idx = CatchmentIndex::default();
+        let mut cached = Vec::new();
+
+        svc.refresh_catchment_index(&mut idx, &weights, 1);
+        idx.offered_per_site_into(1234.5, &mut cached);
+        assert_eq!(cached, svc.offered_per_site(&weights, 1234.5));
+
+        // A routing change bumps the epoch and records exactly the ASes
+        // whose routes moved.
+        let before = svc.rib().clone();
+        let epoch0 = svc.catchment_epoch();
+        assert!(svc.set_announced(1, false, &g));
+        assert_eq!(svc.catchment_epoch(), epoch0 + 1);
+        let changed = svc.changed_ases();
+        assert_eq!(changed.len(), g.len());
+        let mut n_changed = 0;
+        for (i, &did_change) in changed.iter().enumerate() {
+            let asn = AsId(i as u32);
+            assert_eq!(did_change, before.route(asn) != svc.rib().route(asn));
+            n_changed += did_change as usize;
+        }
+        assert!(n_changed > 0, "withdrawal changed no routes");
+
+        // The stale index refreshes to the new catchments and stays
+        // bit-identical to the uncached path.
+        svc.refresh_catchment_index(&mut idx, &weights, 1);
+        idx.offered_per_site_into(1234.5, &mut cached);
+        assert_eq!(cached, svc.offered_per_site(&weights, 1234.5));
+        assert_eq!(cached[1], 0.0, "withdrawn site still offered load");
+
+        // Zero total and zero weight mass both yield all-zero fills.
+        idx.offered_per_site_into(0.0, &mut cached);
+        assert!(cached.iter().all(|&q| q == 0.0));
+        assert_eq!(
+            svc.offered_per_site(&vec![0.0; g.len()], 1234.5),
+            vec![0.0; 2]
+        );
     }
 
     #[test]

@@ -161,6 +161,12 @@ impl SiteState {
         self.queue.queue_delay()
     }
 
+    /// Served rate (qps) under the last-advanced load: offered ×
+    /// (1 − facility loss) × (1 − queue loss).
+    pub fn served_qps(&self) -> f64 {
+        self.offered_qps * (1.0 - self.facility_loss) * (1.0 - self.last_loss)
+    }
+
     /// Per-server capacity.
     pub fn server_capacity_qps(&self) -> f64 {
         self.spec.capacity_qps / f64::from(self.spec.n_servers)

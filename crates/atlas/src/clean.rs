@@ -34,6 +34,27 @@ pub enum CleanObs {
     Timeout,
 }
 
+/// The indexed, `Copy` form of [`CleanObs`] used by the fused probe
+/// path: the site is carried as the pipeline's per-letter site index
+/// instead of a parsed [`ServerIdentity`], skipping the wire-format
+/// string round trip entirely. Produced by
+/// [`execute_probe_fused`](crate::probe::execute_probe_fused) and
+/// consumed by
+/// [`record_fast`](crate::pipeline::MeasurementPipeline::record_fast).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FastObs {
+    /// Identified reply: pipeline site index, 1-based server ordinal,
+    /// measured RTT.
+    Site {
+        site: u16,
+        server: u16,
+        rtt: SimDuration,
+    },
+    /// A response arrived but carried an error.
+    Error,
+    Timeout,
+}
+
 /// Why a VP was excluded from the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExclusionReason {

@@ -20,12 +20,13 @@ pub mod pipeline;
 pub mod probe;
 pub mod vp;
 
-pub use clean::{clean_fleet, clean_outcome, CleanObs, CleaningReport, ExclusionReason};
+pub use clean::{clean_fleet, clean_outcome, CleanObs, CleaningReport, ExclusionReason, FastObs};
 pub use pipeline::{
     raster_code, FlipEvent, LetterData, MeasurementPipeline, PipelineConfig, PipelineError,
     ServerWatch,
 };
 pub use probe::{
-    execute_probe, ChaosTarget, RawMeasurement, RawOutcome, TargetView, ATLAS_TIMEOUT,
+    execute_probe, execute_probe_fused, ChaosTarget, IndexedView, RawMeasurement, RawOutcome,
+    TargetView, ATLAS_TIMEOUT,
 };
 pub use vp::{FleetParams, VantagePoint, VpFleet, VpId, MIN_FIRMWARE};

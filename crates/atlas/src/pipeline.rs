@@ -18,7 +18,7 @@
 //! * optional full per-probe site timelines ("raster") at probe
 //!   granularity for Figures 10 and 11.
 
-use crate::clean::CleanObs;
+use crate::clean::{CleanObs, FastObs};
 use crate::vp::VpId;
 use rootcast_dns::Letter;
 use rootcast_netsim::{BinnedSeries, Coverage, Reduce, SampleBins, SimDuration, SimTime};
@@ -359,13 +359,53 @@ impl MeasurementPipeline {
         Ok(())
     }
 
-    /// Record one cleaned observation.
+    /// Record one cleaned observation. Thin wrapper over
+    /// [`Self::record_fast`]: resolves the identity's site code to its
+    /// index (after the horizon and slot checks, preserving the error
+    /// order: unregistered letter, then VP range, then unknown site),
+    /// then records on the fused path.
     pub fn record(
         &mut self,
         vp: VpId,
         letter: Letter,
         at: SimTime,
         obs: &CleanObs,
+    ) -> Result<(), PipelineError> {
+        if at >= self.cfg.horizon {
+            return Ok(());
+        }
+        self.slot(vp, letter)?;
+        let fast = match obs {
+            CleanObs::Timeout => FastObs::Timeout,
+            CleanObs::Error => FastObs::Error,
+            CleanObs::Site(id, rtt) => {
+                let data = self.letters.get(&letter).expect("slot() checked");
+                let site = data
+                    .site_idx(&id.site)
+                    .ok_or_else(|| PipelineError::UnknownSite {
+                        letter,
+                        site: id.site.clone(),
+                    })?;
+                FastObs::Site {
+                    site,
+                    server: id.server,
+                    rtt: *rtt,
+                }
+            }
+        };
+        self.record_fast(vp, letter, at, fast)
+    }
+
+    /// Record one observation already resolved to a site index — the
+    /// fused-path primary implementation (no strings touched). A site
+    /// index beyond the letter's registered sites is an
+    /// [`PipelineError::UnknownSite`] (reported as `#idx`).
+    pub fn record_fast(
+        &mut self,
+        vp: VpId,
+        letter: Letter,
+        at: SimTime,
+        obs: FastObs,
     ) -> Result<(), PipelineError> {
         if at >= self.cfg.horizon {
             return Ok(());
@@ -377,17 +417,18 @@ impl MeasurementPipeline {
         let probe_seq = (at.as_nanos() / self.cfg.probe_interval.as_nanos()) as usize;
         let n_probes = self.cfg.n_probes();
         let data = self.letters.get_mut(&letter).expect("slot() checked");
-        let site_of = |data: &LetterData, id: &rootcast_dns::ServerIdentity| {
-            data.site_idx(&id.site)
-                .ok_or_else(|| PipelineError::UnknownSite {
-                    letter,
-                    site: id.site.clone(),
-                })
-        };
         let code = match obs {
-            CleanObs::Timeout => raster_code::TIMEOUT,
-            CleanObs::Error => raster_code::ERROR,
-            CleanObs::Site(id, _) => raster_code::SITE_BASE + site_of(data, id)? as u8,
+            FastObs::Timeout => raster_code::TIMEOUT,
+            FastObs::Error => raster_code::ERROR,
+            FastObs::Site { site, .. } => {
+                if site as usize >= data.site_codes.len() {
+                    return Err(PipelineError::UnknownSite {
+                        letter,
+                        site: format!("#{site}"),
+                    });
+                }
+                raster_code::SITE_BASE + site as u8
+            }
         };
         data.observed_probes += 1;
         if let Some(raster) = &mut data.raster {
@@ -423,14 +464,10 @@ impl MeasurementPipeline {
             state.best = BinBest::Empty;
         }
         let cand = match obs {
-            CleanObs::Timeout => BinBest::Timeout,
-            CleanObs::Error => BinBest::Error,
-            CleanObs::Site(id, rtt) => BinBest::Site {
-                // Validated above when computing the raster code.
-                site: u16::from(code - raster_code::SITE_BASE),
-                server: id.server,
-                rtt: *rtt,
-            },
+            FastObs::Timeout => BinBest::Timeout,
+            FastObs::Error => BinBest::Error,
+            // The site index was validated above, at raster-code time.
+            FastObs::Site { site, server, rtt } => BinBest::Site { site, server, rtt },
         };
         if cand.rank() > state.best.rank() {
             state.best = cand;
@@ -753,6 +790,80 @@ mod tests {
                 vp: VpId(99),
                 n_vps: 4
             })
+        );
+    }
+
+    #[test]
+    fn record_fast_matches_record_and_preserves_error_order() {
+        // Same observation stream through both entry points produces
+        // identical aggregates (record() is a thin wrapper).
+        let mut slow = pipeline();
+        let mut fast = pipeline();
+        let stream: [(u32, u64, CleanObs); 6] = [
+            (0, 1, site_obs("AMS", 1, 30)),
+            (1, 2, site_obs("FRA", 2, 20)),
+            (2, 3, CleanObs::Timeout),
+            (0, 11, CleanObs::Error),
+            (1, 12, site_obs("AMS", 1, 25)),
+            (1, 22, site_obs("FRA", 1, 25)), // flip
+        ];
+        for (vp, mins, obs) in &stream {
+            slow.record(VpId(*vp), Letter::K, t(*mins), obs).unwrap();
+            let f = match obs {
+                CleanObs::Timeout => FastObs::Timeout,
+                CleanObs::Error => FastObs::Error,
+                CleanObs::Site(id, rtt) => FastObs::Site {
+                    site: if id.site == "AMS" { 0 } else { 1 },
+                    server: id.server,
+                    rtt: *rtt,
+                },
+            };
+            fast.record_fast(VpId(*vp), Letter::K, t(*mins), f).unwrap();
+        }
+        slow.finalize();
+        fast.finalize();
+        let (s, f) = (slow.letter(Letter::K), fast.letter(Letter::K));
+        assert_eq!(s.success.values(), f.success.values());
+        assert_eq!(s.errors.values(), f.errors.values());
+        assert_eq!(s.flips.values(), f.flips.values());
+        assert_eq!(s.flip_events, f.flip_events);
+        for (a, b) in s.site_counts.iter().zip(&f.site_counts) {
+            assert_eq!(a.values(), b.values());
+        }
+        assert_eq!(s.raster, f.raster);
+        assert_eq!(s.observed_probes, f.observed_probes);
+
+        // Error ordering matches record(): letter registration first,
+        // then VP range, then site validity; out-of-range site indices
+        // surface as `#idx`.
+        let mut p = pipeline();
+        let bad = FastObs::Site {
+            site: 7,
+            server: 1,
+            rtt: SimDuration::from_millis(20),
+        };
+        assert_eq!(
+            p.record_fast(VpId(0), Letter::E, t(0), bad),
+            Err(PipelineError::UnregisteredLetter(Letter::E))
+        );
+        assert_eq!(
+            p.record_fast(VpId(99), Letter::K, t(0), bad),
+            Err(PipelineError::VpOutOfRange {
+                vp: VpId(99),
+                n_vps: 4
+            })
+        );
+        assert_eq!(
+            p.record_fast(VpId(0), Letter::K, t(0), bad),
+            Err(PipelineError::UnknownSite {
+                letter: Letter::K,
+                site: "#7".into()
+            })
+        );
+        // Beyond-horizon observations are ignored, even invalid ones.
+        assert_eq!(
+            p.record_fast(VpId(0), Letter::K, SimTime::from_hours(2), bad),
+            Ok(())
         );
     }
 

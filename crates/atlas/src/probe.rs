@@ -63,6 +63,45 @@ impl TargetView {
     }
 }
 
+/// [`TargetView`] pre-resolved to a pipeline site index: the `Copy`,
+/// allocation-free view the fused probe path uses. Carries the same
+/// physics (RTT, drop probability) minus the site's airport-code string.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexedView {
+    /// The pipeline's per-letter site index of the catchment site.
+    pub site: u16,
+    /// 1-based answering server ordinal.
+    pub server: u16,
+    /// Round-trip time if answered.
+    pub rtt: SimDuration,
+    /// Sanitized at construction, like [`TargetView`]'s.
+    drop_prob: f64,
+}
+
+impl IndexedView {
+    /// Build a view, sanitizing `drop_prob` exactly like
+    /// [`TargetView::new`]: clamped to `[0, 1]`, NaN fails closed to
+    /// certain loss.
+    pub fn new(site: u16, server: u16, rtt: SimDuration, drop_prob: f64) -> IndexedView {
+        let drop_prob = if drop_prob.is_nan() {
+            1.0
+        } else {
+            drop_prob.clamp(0.0, 1.0)
+        };
+        IndexedView {
+            site,
+            server,
+            rtt,
+            drop_prob,
+        }
+    }
+
+    /// The sanitized drop probability, guaranteed finite in `[0, 1]`.
+    pub fn drop_prob(&self) -> f64 {
+        self.drop_prob
+    }
+}
+
 /// A probe-able anycast service (implemented for `AnycastService` by the
 /// orchestration layer).
 pub trait ChaosTarget {
@@ -167,9 +206,53 @@ pub fn execute_probe<T: ChaosTarget, R: Rng>(
     }
 }
 
+/// Execute one probe on the fused path: the target view arrives
+/// pre-resolved to a pipeline site index and the outcome skips the
+/// wire-format string round trip (`format_txt` → `parse_txt`) that
+/// [`execute_probe`] + [`clean_outcome`](crate::clean::clean_outcome)
+/// perform. Draws the identical RNG sequence as that legacy pair, so
+/// from equal RNG states the two paths yield equal observations and
+/// leave the RNG in equal states — the property the golden equivalence
+/// tests pin.
+pub fn execute_probe_fused<R: Rng>(
+    vp: &VantagePoint,
+    view: Option<IndexedView>,
+    rng: &mut R,
+) -> crate::clean::FastObs {
+    use crate::clean::FastObs;
+    if vp.hijacked {
+        // The middlebox reply is unparseable at an implausibly fast RTT,
+        // which cleans to an error. Hijacked VPs never survive
+        // `clean_fleet`, so fused callers probing a cleaned fleet never
+        // take this branch — the draw is kept for RNG parity.
+        let _ = SimDuration::from_micros(rng.gen_range(600..4000));
+        return FastObs::Error;
+    }
+    if vp.flaky && rng.gen_bool(0.02) {
+        return FastObs::Timeout;
+    }
+    let Some(view) = view else {
+        return FastObs::Timeout;
+    };
+    if view.drop_prob > 0.0 && rng.gen_bool(view.drop_prob) {
+        return FastObs::Timeout;
+    }
+    let jitter = 1.0 + (rng.gen_range(-50..=50) as f64) / 1000.0;
+    let rtt = SimDuration::from_secs_f64(view.rtt.as_secs_f64() * jitter);
+    if rtt >= ATLAS_TIMEOUT {
+        return FastObs::Timeout;
+    }
+    FastObs::Site {
+        site: view.site,
+        server: view.server,
+        rtt,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clean::{clean_outcome, CleanObs, FastObs};
     use crate::vp::VpId;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -285,6 +368,62 @@ mod tests {
     fn rtt_beyond_timeout_is_a_timeout() {
         let m = execute_probe(&vp(false), &target(0.0, 6000), SimTime::ZERO, &mut rng());
         assert_eq!(m.outcome, RawOutcome::Timeout);
+    }
+
+    #[test]
+    fn fused_path_matches_legacy_path_and_rng_stream() {
+        // Across VP states and target conditions, the fused probe must
+        // clean to the same observation as execute_probe + clean_outcome
+        // AND leave the RNG at the same position.
+        type Case = (bool, bool, Option<(f64, u64)>); // (hijacked, flaky, view)
+        let cases: Vec<Case> = vec![
+            (false, false, Some((0.0, 30))),   // healthy reply
+            (false, false, Some((0.5, 30))),   // coin-flip loss
+            (false, false, Some((1.0, 30))),   // certain loss
+            (false, false, Some((0.0, 6000))), // over-timeout RTT
+            (false, false, Some((0.0, 4990))), // jitter decides timeout
+            (false, false, None),              // unreachable
+            (false, true, Some((0.3, 30))),    // flaky VP
+            (true, false, Some((0.0, 30))),    // hijacked VP
+            (true, true, None),                // hijacked trumps all
+        ];
+        for (ci, &(hijacked, flaky, ref cond)) in cases.iter().enumerate() {
+            let v = VantagePoint {
+                id: VpId(3),
+                asn: AsId(0),
+                firmware: 4700,
+                hijacked,
+                flaky,
+            };
+            let t = FakeTarget {
+                letter: Letter::K,
+                view: cond.map(|(drop, ms)| {
+                    TargetView::new("AMS", 2, SimDuration::from_millis(ms), drop)
+                }),
+            };
+            let iv =
+                cond.map(|(drop, ms)| IndexedView::new(0, 2, SimDuration::from_millis(ms), drop));
+            for seed in 0..200u64 {
+                let mut legacy_rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut fused_rng = legacy_rng.clone();
+                let legacy = clean_outcome(&execute_probe(&v, &t, SimTime::ZERO, &mut legacy_rng));
+                let fused = execute_probe_fused(&v, iv, &mut fused_rng);
+                match (&legacy, fused) {
+                    (CleanObs::Site(id, lr), FastObs::Site { site, server, rtt }) => {
+                        assert_eq!(site, 0, "case {ci}");
+                        assert_eq!(id.server, server, "case {ci}");
+                        assert_eq!(*lr, rtt, "case {ci}");
+                    }
+                    (CleanObs::Error, FastObs::Error) | (CleanObs::Timeout, FastObs::Timeout) => {}
+                    other => panic!("case {ci} seed {seed}: outcomes diverge: {other:?}"),
+                }
+                assert_eq!(
+                    legacy_rng.gen::<u64>(),
+                    fused_rng.gen::<u64>(),
+                    "case {ci} seed {seed}: RNG streams diverged"
+                );
+            }
+        }
     }
 
     #[test]

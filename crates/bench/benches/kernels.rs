@@ -4,8 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::SeedableRng;
+use rootcast::engine::{FluidTraffic, NoopInstrumentation, SimWorld};
+use rootcast::{ScenarioConfig, Subsystem};
+use rootcast_anycast::{AnycastService, CatchmentIndex};
 use rootcast_atlas::{clean_outcome, CleanObs, MeasurementPipeline, PipelineConfig, VpId};
 use rootcast_atlas::{RawMeasurement, RawOutcome};
+use rootcast_attack::{Botnet, BotnetParams};
 use rootcast_bgp::{compute_rib_scoped, Origin, Scope};
 use rootcast_dns::{Letter, Message, Name, RootZone, RrClass, RrType, ServerIdentity};
 use rootcast_netsim::stats::CardinalitySketch;
@@ -161,6 +165,53 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+fn bench_catchment(c: &mut Criterion) {
+    // The offered_per_site kernel at K-root scale: the uncached path
+    // rebuilds the per-site weight sums from the full RIB every call
+    // (O(n_AS)); the cached path refreshes a CatchmentIndex (a no-op
+    // while the routing epoch and weight version are unchanged) and
+    // fills from the per-site sums (O(n_sites)).
+    let rng = SimRng::new(1);
+    let graph = gen::generate(&TopologyParams::default(), &rng);
+    let d = rootcast::nov2015_deployments(&graph)
+        .into_iter()
+        .find(|d| d.letter == Letter::K)
+        .expect("K-root deployed");
+    let svc = AnycastService::new("k-root", Some(Letter::K), &graph, d.sites);
+    let botnet = Botnet::generate(&graph, BotnetParams::default(), &rng);
+    let weights = botnet.weights();
+    c.bench_function("offered_per_site_uncached", |b| {
+        b.iter(|| black_box(svc.offered_per_site(weights, 2_500_000.0)))
+    });
+    let mut idx = CatchmentIndex::default();
+    let mut out = Vec::new();
+    c.bench_function("offered_per_site_cached", |b| {
+        b.iter(|| {
+            svc.refresh_catchment_index(&mut idx, weights, 1);
+            idx.offered_per_site_into(2_500_000.0, &mut out);
+            black_box(out.last().copied())
+        })
+    });
+}
+
+fn bench_fluid_tick(c: &mut Criterion) {
+    // One full fluid window over the small scenario: catchment loads,
+    // shared facilities, ingress queues, and stress policies for all 13
+    // letters plus .nl.
+    let cfg = ScenarioConfig::small();
+    let rngf = SimRng::new(cfg.seed);
+    let mut obs = NoopInstrumentation;
+    let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+    let mut fluid = FluidTraffic::new(cfg.fluid_step);
+    let mut t = SimTime::ZERO;
+    c.bench_function("fluid_tick", |b| {
+        b.iter(|| {
+            t += cfg.fluid_step;
+            black_box(fluid.tick(&mut world, t))
+        })
+    });
+}
+
 fn bench_sketch(c: &mut Criterion) {
     c.bench_function("hll_insert_100k", |b| {
         b.iter_batched(
@@ -179,6 +230,6 @@ fn bench_sketch(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_topology, bench_bgp, bench_dns, bench_rrl, bench_fluid, bench_pipeline, bench_sketch
+    targets = bench_topology, bench_bgp, bench_dns, bench_rrl, bench_fluid, bench_catchment, bench_fluid_tick, bench_pipeline, bench_sketch
 }
 criterion_main!(kernels);

@@ -24,6 +24,28 @@ fn cfg_with(n_vps: usize, hours: u64) -> ScenarioConfig {
     cfg
 }
 
+/// Pulse-wave attack schedule (Khamaisi et al. style): short bursts at a
+/// fixed cadence, each strong enough to trip the withdraw policy at the
+/// targeted letters and quiet gaps long enough for re-announcement, so
+/// every pulse exercises RIB reconvergence and collector diffs.
+fn cfg_pulse_wave(n_vps: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::small();
+    cfg.fleet = FleetParams::tiny(n_vps);
+    cfg.horizon = SimTime::from_hours(3);
+    cfg.pipeline.horizon = cfg.horizon;
+    let windows = (0..16u64)
+        .map(|i| AttackWindow {
+            start: SimTime::from_mins(10 + i * 10),
+            duration: SimDuration::from_mins(5),
+            qname: "www.336901.com".into(),
+            targets: AttackSchedule::nov2015_targets(),
+            rate_qps: 2_500_000.0,
+        })
+        .collect();
+    cfg.attack = AttackSchedule::new(windows);
+    cfg
+}
+
 fn bench_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("scenario_run");
     g.sample_size(10);
@@ -37,6 +59,11 @@ fn bench_simulation(c: &mut Criterion) {
             b.iter(|| black_box(sim::run(&cfg_with(400, h)).expect("valid scenario")))
         });
     }
+    g.bench_with_input(
+        BenchmarkId::new("withdraw_oscillation", "pulse"),
+        &400usize,
+        |b, &n| b.iter(|| black_box(sim::run(&cfg_pulse_wave(n)).expect("valid scenario"))),
+    );
     g.finish();
 }
 

@@ -90,6 +90,39 @@ impl RouteCollector {
         changed
     }
 
+    /// [`observe`](Self::observe) for callers that know exactly which
+    /// ASes changed routes since the previous table (`changed[asn]` from
+    /// [`Rib::diff_into`]): peers whose entry is unchanged are skipped
+    /// without recomputing their signature. Entry equality implies
+    /// signature equality, so the skip can never hide an update; debug
+    /// builds audit that.
+    pub fn observe_changed(&mut self, t: SimTime, rib: &Rib, changed_ases: &[bool]) -> usize {
+        let mut changed = 0;
+        for (i, &peer) in self.peers.iter().enumerate() {
+            if !changed_ases[peer.0 as usize] {
+                debug_assert_eq!(
+                    rib.route(peer).map(|r| r.signature()),
+                    self.last[i],
+                    "peer {peer} skipped as unchanged but its signature moved"
+                );
+                continue;
+            }
+            let now = rib.route(peer).map(|r| r.signature());
+            if now != self.last[i] {
+                changed += 1;
+                self.last[i] = now;
+            }
+        }
+        if changed > 0 && self.dark_since.is_none() {
+            self.log.push(UpdateBatch {
+                at: t,
+                changed_peers: changed,
+                messages: changed * (1 + self.exploration_factor),
+            });
+        }
+        changed
+    }
+
     /// Start or end a feed blackout at time `t`. While dark the
     /// collector keeps tracking peer state (the routers do not stop
     /// routing) but records no updates — modeling a BGPmon observation
@@ -206,6 +239,33 @@ mod tests {
             assert_eq!(c.log().len(), 1);
             assert_eq!(c.log()[0].messages, changed * 3);
         }
+    }
+
+    #[test]
+    fn observe_changed_matches_full_scan() {
+        let (g, stubs) = build();
+        let origins = [origin(stubs[0]), origin(stubs[1])];
+        let before = compute_rib_scoped(&g, &origins, &[true, true]);
+        let after = compute_rib_scoped(&g, &origins, &[false, true]);
+        let mut changed_ases = Vec::new();
+        after.diff_into(&before, &mut changed_ases);
+
+        let mut full = RouteCollector::new(stubs[2..12].to_vec());
+        let mut fast = full.clone();
+        full.prime(&before);
+        fast.prime(&before);
+        let t = SimTime::from_mins(10);
+        assert_eq!(
+            full.observe(t, &after),
+            fast.observe_changed(t, &after, &changed_ases)
+        );
+        assert_eq!(full.log(), fast.log());
+        assert_eq!(full.last, fast.last);
+        // A re-observation of the same table diffs to all-unchanged and
+        // must log nothing.
+        let none = vec![false; g.len()];
+        assert_eq!(fast.observe_changed(t, &after, &none), 0);
+        assert_eq!(full.log(), fast.log());
     }
 
     #[test]

@@ -85,6 +85,22 @@ impl Rib {
             entries: vec![None; n_ases],
         }
     }
+
+    /// Mark which ASes chose a different route in `self` than in `prev`:
+    /// `changed[asn]` is set iff the entries differ (route appeared,
+    /// disappeared, or any field of the chosen route moved). Entry
+    /// equality is stricter than the collector's peer signature, so a
+    /// consumer that skips unchanged ASes can never miss an update.
+    pub fn diff_into(&self, prev: &Rib, changed: &mut Vec<bool>) {
+        assert_eq!(self.entries.len(), prev.entries.len());
+        changed.clear();
+        changed.extend(
+            self.entries
+                .iter()
+                .zip(&prev.entries)
+                .map(|(cur, old)| cur != old),
+        );
+    }
 }
 
 /// Compute the stable routing table for a prefix announced by the active
@@ -93,9 +109,22 @@ impl Rib {
 /// `active[i]` gates `origins[i]`; this is how route withdrawals are
 /// expressed (a withdrawn site is simply not an origin for the recompute).
 pub fn compute_rib(graph: &AsGraph, origins: &[Origin], active: &[bool]) -> Rib {
+    let mut rib = Rib::unreachable(graph.len());
+    compute_rib_into(graph, origins, active, &mut rib);
+    rib
+}
+
+/// [`compute_rib`] writing into a caller-owned table, so reconvergence
+/// loops (withdraw/re-announce churn, collector replay) reuse one
+/// allocation instead of building a fresh `Vec` per recompute. `rib` is
+/// resized to the graph and fully overwritten; prior contents are
+/// irrelevant.
+pub fn compute_rib_into(graph: &AsGraph, origins: &[Origin], active: &[bool], rib: &mut Rib) {
     assert_eq!(origins.len(), active.len());
     let n = graph.len();
-    let mut entries: Vec<Option<RouteEntry>> = vec![None; n];
+    rib.entries.clear();
+    rib.entries.resize(n, None);
+    let entries = &mut rib.entries;
 
     // Seed origin-host entries. If the same AS hosts several active sites
     // (possible in degenerate configs), the lowest origin index wins.
@@ -118,7 +147,7 @@ pub fn compute_rib(graph: &AsGraph, origins: &[Origin], active: &[bool]) -> Rib 
     }
 
     // --- Phase 1: customer routes flow upward. ---
-    run_phase(graph, &mut entries, Phase::Customer);
+    run_phase(graph, entries, Phase::Customer);
     // --- Phase 2: one-hop peer export. ---
     // Collect offers first so peer routes never cascade through other
     // peers (valley-free: at most one peering edge per path).
@@ -152,9 +181,7 @@ pub fn compute_rib(graph: &AsGraph, origins: &[Origin], active: &[bool]) -> Rib 
         }
     }
     // --- Phase 3: provider routes flow downward. ---
-    run_phase(graph, &mut entries, Phase::Provider);
-
-    Rib { entries }
+    run_phase(graph, entries, Phase::Provider);
 }
 
 /// Whether `r` may be exported to peers/providers: only origin or
@@ -271,14 +298,38 @@ fn run_phase(graph: &AsGraph, entries: &mut [Option<RouteEntry>], phase: Phase) 
 /// computation with global origins only, then overlaying each local
 /// origin's customer cone where the local route is preferred.
 pub fn compute_rib_scoped(graph: &AsGraph, origins: &[Origin], active: &[bool]) -> Rib {
+    let mut rib = Rib::unreachable(graph.len());
+    compute_rib_scoped_into(graph, origins, active, &mut rib, &mut RibScratch::default());
+    rib
+}
+
+/// Reusable working buffers for [`compute_rib_scoped_into`], owned by the
+/// caller so back-to-back recomputes (policy oscillation) allocate
+/// nothing. Contents are overwritten on every call.
+#[derive(Debug, Clone, Default)]
+pub struct RibScratch {
+    global_active: Vec<bool>,
+}
+
+/// [`compute_rib_scoped`] writing into a caller-owned table and scratch
+/// buffers. `rib` is resized and fully overwritten.
+pub fn compute_rib_scoped_into(
+    graph: &AsGraph,
+    origins: &[Origin],
+    active: &[bool],
+    rib: &mut Rib,
+    scratch: &mut RibScratch,
+) {
     assert_eq!(origins.len(), active.len());
     // Pass 1: global origins route normally.
-    let global_active: Vec<bool> = origins
-        .iter()
-        .zip(active)
-        .map(|(o, &a)| a && o.scope == Scope::Global)
-        .collect();
-    let mut rib = compute_rib(graph, origins, &global_active);
+    scratch.global_active.clear();
+    scratch.global_active.extend(
+        origins
+            .iter()
+            .zip(active)
+            .map(|(o, &a)| a && o.scope == Scope::Global),
+    );
+    compute_rib_into(graph, origins, &scratch.global_active, rib);
 
     // Pass 2: overlay each active local origin onto its customer cone.
     // Within the cone the local route competes on standard preference
@@ -291,9 +342,8 @@ pub fn compute_rib_scoped(graph: &AsGraph, origins: &[Origin], active: &[bool]) 
         if !act || o.scope != Scope::Local {
             continue;
         }
-        overlay_local_origin(graph, &mut rib, o, OriginIdx(i as u32));
+        overlay_local_origin(graph, rib, o, OriginIdx(i as u32));
     }
-    rib
 }
 
 fn overlay_local_origin(graph: &AsGraph, rib: &mut Rib, origin: &Origin, idx: OriginIdx) {
@@ -548,6 +598,29 @@ mod tests {
         // A two-hop path has at least two hop overheads.
         let s4 = rib.latency_of(ids[8]).unwrap();
         assert!(s4 >= HOP_OVERHEAD * 2);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions_and_diff_is_exact() {
+        let (g, ids) = testnet();
+        let origins = [global(ids[5]), global(ids[8])];
+        let before = compute_rib_scoped(&g, &origins, &[true, true]);
+        // Deliberately wrong-sized buffer: must be resized and overwritten.
+        let mut rib = Rib::unreachable(1);
+        let mut scratch = RibScratch::default();
+        compute_rib_scoped_into(&g, &origins, &[true, true], &mut rib, &mut scratch);
+        assert_eq!(rib, before);
+        // Recompute a withdrawal into the same buffers.
+        compute_rib_scoped_into(&g, &origins, &[false, true], &mut rib, &mut scratch);
+        let after = compute_rib_scoped(&g, &origins, &[false, true]);
+        assert_eq!(rib, after);
+        let mut changed = Vec::new();
+        rib.diff_into(&before, &mut changed);
+        assert_eq!(changed.len(), g.len());
+        for (i, &c) in changed.iter().enumerate() {
+            let asn = AsId(i as u32);
+            assert_eq!(c, before.route(asn) != after.route(asn), "AS {asn}");
+        }
     }
 
     #[test]

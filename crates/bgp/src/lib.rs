@@ -25,5 +25,8 @@ pub mod engine;
 pub mod route;
 
 pub use collector::{RouteCollector, UpdateBatch};
-pub use engine::{compute_rib, compute_rib_scoped, Rib, HOP_OVERHEAD};
+pub use engine::{
+    compute_rib, compute_rib_into, compute_rib_scoped, compute_rib_scoped_into, Rib, RibScratch,
+    HOP_OVERHEAD,
+};
 pub use route::{LearnedFrom, Origin, OriginIdx, RouteEntry, Scope};

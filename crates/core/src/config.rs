@@ -87,6 +87,12 @@ pub struct ScenarioConfig {
     /// Scheduled fault injection (empty by default: no faults, and the
     /// run is bit-identical to one without the injector subsystem).
     pub faults: FaultPlan,
+    /// Run the hot paths through their reference implementations instead
+    /// of the cached/fused kernels: catchment indices are invalidated
+    /// every tick, probes take the string round-trip path, and collectors
+    /// re-scan full tables. Outputs are bit-identical either way — this
+    /// toggle exists so the golden equivalence tests can prove it.
+    pub reference_kernels: bool,
 }
 
 impl ScenarioConfig {
@@ -119,6 +125,7 @@ impl ScenarioConfig {
             include_nl: true,
             nl_qps: 80_000.0,
             faults: FaultPlan::none(),
+            reference_kernels: false,
         }
     }
 

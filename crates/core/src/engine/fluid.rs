@@ -9,18 +9,48 @@
 
 use crate::engine::{SimWorld, Subsystem};
 use rayon::prelude::*;
+use rootcast_anycast::CatchmentIndex;
 use rootcast_netsim::{SimDuration, SimTime};
 
-/// The fluid-model subsystem. Carries only its cadence; everything it
-/// produces lives in the world (queue states, policy state, scratch).
+/// The fluid-model subsystem. Carries its cadence plus the per-service
+/// catchment indices and scratch buffers the cached tick reuses; the
+/// results it produces live in the world (queue states, policy state,
+/// scratch).
+///
+/// The cached tick is serial on purpose: with catchment indices the
+/// offered split is O(n_sites) per service — a few hundred flops — far
+/// below the cost of fanning tasks out to a thread pool, and a serial
+/// loop is trivially deterministic at any thread count. The reference
+/// path (`with_reference(true)`) keeps the original uncached rayon
+/// fan-out so equivalence tests can pin the two together.
 #[derive(Debug)]
 pub struct FluidTraffic {
     step: SimDuration,
+    reference: bool,
+    /// Attack-weight (botnet) index per service.
+    atk_idx: Vec<CatchmentIndex>,
+    /// Legit-weight (per-letter resolver, or population for `.nl`) index
+    /// per service.
+    leg_idx: Vec<CatchmentIndex>,
+    /// Reusable legitimate-load buffer.
+    leg: Vec<f64>,
 }
 
 impl FluidTraffic {
     pub fn new(step: SimDuration) -> FluidTraffic {
-        FluidTraffic { step }
+        FluidTraffic {
+            step,
+            reference: false,
+            atk_idx: Vec::new(),
+            leg_idx: Vec::new(),
+            leg: Vec::new(),
+        }
+    }
+
+    /// Select the uncached reference implementation (golden tests only).
+    pub fn with_reference(mut self, reference: bool) -> FluidTraffic {
+        self.reference = reference;
+        self
     }
 }
 
@@ -38,35 +68,80 @@ impl Subsystem for FluidTraffic {
         let window_start = world.fluid.last_fluid;
         let dt = t - window_start;
 
-        // 1. Offered load per service/site under current ribs — one
-        // independent task per service, merged in service order.
-        let (services, botnet, legit_weights, pop_weights, legit_shares) = (
-            &world.services,
-            &world.botnet,
-            &world.legit_weights,
-            &world.pop_weights,
-            &world.legit_shares,
-        );
-        let loads: Vec<(Vec<f64>, Vec<f64>)> = (0..services.len())
-            .into_par_iter()
-            .map(|i| {
-                let svc = &services[i];
+        // 1. Offered load per service/site under current ribs, into last
+        // window's buffers (reclaimed from the world scratch; empty only
+        // on the first tick).
+        let n = world.services.len();
+        let mut offered = std::mem::take(&mut world.fluid.offered);
+        let mut offered_attack = std::mem::take(&mut world.fluid.offered_attack);
+
+        if self.reference {
+            // Reference path: uncached, one rayon task per service.
+            let (services, botnet, legit_weights, pop_weights, legit_shares) = (
+                &world.services,
+                &world.botnet,
+                &world.legit_weights,
+                &world.pop_weights,
+                &world.legit_shares,
+            );
+            let loads: Vec<(Vec<f64>, Vec<f64>)> = (0..services.len())
+                .into_par_iter()
+                .map(|i| {
+                    let svc = &services[i];
+                    if let Some(letter) = svc.letter {
+                        let atk_rate = cfg.attack.rate_for(letter, window_start);
+                        let atk = svc.offered_per_site(botnet.weights(), atk_rate);
+                        let leg = svc.offered_per_site(
+                            &legit_weights[i],
+                            cfg.legit_total_qps * legit_shares[letter as usize],
+                        );
+                        let sum: Vec<f64> = atk.iter().zip(&leg).map(|(a, b)| a + b).collect();
+                        (atk, sum)
+                    } else {
+                        let leg = svc.offered_per_site(pop_weights, cfg.nl_qps);
+                        (vec![0.0; leg.len()], leg)
+                    }
+                })
+                .collect();
+            let unzipped: (Vec<_>, Vec<_>) = loads.into_iter().unzip();
+            offered_attack = unzipped.0;
+            offered = unzipped.1;
+        } else {
+            // Cached path: per-site weight sums keyed on (catchment
+            // epoch, weight version) make each split O(n_sites); the
+            // fills share their arithmetic with `offered_per_site`, so
+            // the loads are bit-identical to the reference path.
+            offered.resize_with(n, Vec::new);
+            offered_attack.resize_with(n, Vec::new);
+            self.atk_idx.resize_with(n, Default::default);
+            self.leg_idx.resize_with(n, Default::default);
+            for i in 0..n {
+                let svc = &world.services[i];
+                let atk_out = &mut offered_attack[i];
+                let out = &mut offered[i];
                 if let Some(letter) = svc.letter {
                     let atk_rate = cfg.attack.rate_for(letter, window_start);
-                    let atk = svc.offered_per_site(botnet.weights(), atk_rate);
-                    let leg = svc.offered_per_site(
-                        &legit_weights[i],
-                        cfg.legit_total_qps * legit_shares[letter as usize],
+                    svc.refresh_catchment_index(&mut self.atk_idx[i], world.botnet.weights(), 1);
+                    self.atk_idx[i].offered_per_site_into(atk_rate, atk_out);
+                    svc.refresh_catchment_index(
+                        &mut self.leg_idx[i],
+                        &world.legit_weights[i],
+                        world.legit_weights_version,
                     );
-                    let sum: Vec<f64> = atk.iter().zip(&leg).map(|(a, b)| a + b).collect();
-                    (atk, sum)
+                    self.leg_idx[i].offered_per_site_into(
+                        cfg.legit_total_qps * world.legit_shares[letter as usize],
+                        &mut self.leg,
+                    );
+                    out.clear();
+                    out.extend(atk_out.iter().zip(&self.leg).map(|(a, b)| a + b));
                 } else {
-                    let leg = svc.offered_per_site(pop_weights, cfg.nl_qps);
-                    (vec![0.0; leg.len()], leg)
+                    svc.refresh_catchment_index(&mut self.leg_idx[i], &world.pop_weights, 1);
+                    self.leg_idx[i].offered_per_site_into(cfg.nl_qps, out);
+                    atk_out.clear();
+                    atk_out.resize(out.len(), 0.0);
                 }
-            })
-            .collect();
-        let (offered_attack, offered): (Vec<_>, Vec<_>) = loads.into_iter().unzip();
+            }
+        }
 
         // 2. Facility links first (shared risk), then site queues.
         for (svc, off) in world.services.iter().zip(&offered) {
@@ -112,7 +187,7 @@ impl Subsystem for FluidTraffic {
         for (i, svc) in world.services.iter().enumerate() {
             let Some(letter) = svc.letter else { continue };
             let offered_total: f64 = offered[i].iter().sum();
-            let served_total: f64 = svc.served_per_site().iter().sum();
+            let served_total: f64 = svc.served_total();
             world
                 .obs
                 .on_letter_load(t, letter, offered_total, served_total);
@@ -182,6 +257,29 @@ mod tests {
                 assert!(world.fluid.offered_attack[i].iter().all(|&a| a == 0.0));
             }
         }
+    }
+
+    #[test]
+    fn cached_and_reference_ticks_are_bit_identical() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_mins(10);
+        cfg.pipeline.horizon = cfg.horizon;
+        let rngf = SimRng::new(cfg.seed);
+        let run = |reference: bool| {
+            let mut obs = NoopInstrumentation;
+            let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+            let mut fluid = FluidTraffic::new(cfg.fluid_step).with_reference(reference);
+            let mut t = SimTime::ZERO;
+            for _ in 0..5 {
+                t += cfg.fluid_step;
+                fluid.tick(&mut world, t);
+            }
+            (
+                world.fluid.offered.clone(),
+                world.fluid.offered_attack.clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -12,7 +12,10 @@ use crate::engine::faults::ProbeAction;
 use crate::engine::{SimWorld, Subsystem};
 use rayon::prelude::*;
 use rootcast_anycast::AnycastService;
-use rootcast_atlas::{clean_outcome, execute_probe, ChaosTarget, CleanObs, TargetView, VpId};
+use rootcast_atlas::{
+    clean_outcome, execute_probe, execute_probe_fused, ChaosTarget, CleanObs, FastObs, IndexedView,
+    TargetView, VpId,
+};
 use rootcast_dns::Letter;
 use rootcast_netsim::{SimDuration, SimTime};
 
@@ -39,9 +42,22 @@ impl ChaosTarget for ServiceTarget<'_> {
 
 /// The probing subsystem: a wheel of (VP index, letter index) pairs per
 /// minute slot, cycling every lcm(intervals) minutes.
+///
+/// Probes execute on the fused path by default: the service's catchment
+/// view is resolved straight to the pipeline's site *index* (via a
+/// per-letter map precomputed at construction) and recorded without the
+/// wire-format string round trip. The
+/// [`reference_kernels`](crate::config::ScenarioConfig::reference_kernels)
+/// flag selects the legacy `execute_probe` → `clean_outcome` → `record`
+/// path instead; both draw the identical RNG sequence and produce
+/// bit-identical pipelines.
 pub struct ProbeWheel {
     wheel: Vec<Vec<(u32, usize)>>,
     wheel_period: usize,
+    /// Per letter index: service site index → pipeline site index.
+    site_map: Vec<Vec<u16>>,
+    /// Use the string-roundtrip reference probe path.
+    reference: bool,
 }
 
 impl ProbeWheel {
@@ -81,9 +97,29 @@ impl ProbeWheel {
                 }
             }
         }
+        // Pipeline site indices in service-site order, resolved once so
+        // the fused path never touches an airport-code string.
+        let site_map = world
+            .letters
+            .iter()
+            .enumerate()
+            .map(|(i, &letter)| {
+                let data = world.pipeline.letter(letter);
+                world.services[i]
+                    .sites()
+                    .iter()
+                    .map(|s| {
+                        data.site_idx(&s.spec.code)
+                            .expect("pipeline registered every service site")
+                    })
+                    .collect()
+            })
+            .collect();
         ProbeWheel {
             wheel,
             wheel_period,
+            site_map,
+            reference: cfg.reference_kernels,
         }
     }
 
@@ -124,42 +160,105 @@ impl Subsystem for ProbeWheel {
         // `None` observations are missed probes: a dropped-out VP never
         // probes (no RNG draw), a firmware-downgraded VP probes (same
         // draws as a healthy run) but its measurement is unusable.
-        let results: Vec<Vec<(VpId, Option<CleanObs>)>> = (0..letters.len())
-            .into_par_iter()
-            .map(|i| {
-                let letter = letters[i];
-                let mut rng = rngf.indexed_stream(&format!("probes-{letter}"), minute);
-                let target = ServiceTarget { svc: &services[i] };
-                per_letter[i]
-                    .iter()
-                    .map(|&vp_id| match faults.probe_action(vp_id, letter) {
-                        ProbeAction::Skip => (VpId(vp_id), None),
-                        ProbeAction::Discard => {
-                            let vp = fleet.vp(VpId(vp_id));
-                            let _ = execute_probe(vp, &target, t, &mut rng);
-                            (vp.id, None)
-                        }
-                        ProbeAction::Normal => {
-                            let vp = fleet.vp(VpId(vp_id));
-                            let m = execute_probe(vp, &target, t, &mut rng);
-                            (vp.id, Some(clean_outcome(&m)))
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
-        for (i, letter_obs) in results.into_iter().enumerate() {
-            let letter = world.letters[i];
-            for (vp, obs) in letter_obs {
-                let recorded = match obs {
-                    Some(obs) => world.pipeline.record(vp, letter, t, &obs),
-                    None => world.pipeline.note_missed(letter, t),
-                };
-                if let Err(err) = recorded {
-                    // The wheel only probes letters the world registered,
-                    // so this is a programmer error, not data to skip.
-                    debug_assert!(false, "pipeline rejected wheel observation: {err}");
-                    let _ = err;
+        if self.reference {
+            // Reference path: textual CHAOS identities, parsed back by
+            // the cleaning stage, recorded by airport code.
+            let results: Vec<Vec<(VpId, Option<CleanObs>)>> = (0..letters.len())
+                .into_par_iter()
+                .map(|i| {
+                    let letter = letters[i];
+                    let mut rng = rngf.indexed_stream(&format!("probes-{letter}"), minute);
+                    let target = ServiceTarget { svc: &services[i] };
+                    per_letter[i]
+                        .iter()
+                        .map(|&vp_id| match faults.probe_action(vp_id, letter) {
+                            ProbeAction::Skip => (VpId(vp_id), None),
+                            ProbeAction::Discard => {
+                                let vp = fleet.vp(VpId(vp_id));
+                                let _ = execute_probe(vp, &target, t, &mut rng);
+                                (vp.id, None)
+                            }
+                            ProbeAction::Normal => {
+                                let vp = fleet.vp(VpId(vp_id));
+                                let m = execute_probe(vp, &target, t, &mut rng);
+                                (vp.id, Some(clean_outcome(&m)))
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for (i, letter_obs) in results.into_iter().enumerate() {
+                let letter = world.letters[i];
+                for (vp, obs) in letter_obs {
+                    let recorded = match obs {
+                        Some(obs) => world.pipeline.record(vp, letter, t, &obs),
+                        None => world.pipeline.note_missed(letter, t),
+                    };
+                    if let Err(err) = recorded {
+                        // The wheel only probes letters the world
+                        // registered, so this is a programmer error, not
+                        // data to skip.
+                        debug_assert!(false, "pipeline rejected wheel observation: {err}");
+                        let _ = err;
+                    }
+                }
+            }
+        } else {
+            // Fused path: catchment views resolved straight to pipeline
+            // site indices; same RNG draws (a Discard probe still
+            // executes), same observations, no strings.
+            let site_map = &self.site_map;
+            let results: Vec<Vec<(VpId, Option<FastObs>)>> = (0..letters.len())
+                .into_par_iter()
+                .map(|i| {
+                    let letter = letters[i];
+                    let mut rng = rngf.indexed_stream(&format!("probes-{letter}"), minute);
+                    let svc = &services[i];
+                    let sites = &site_map[i];
+                    per_letter[i]
+                        .iter()
+                        .map(|&vp_id| match faults.probe_action(vp_id, letter) {
+                            ProbeAction::Skip => (VpId(vp_id), None),
+                            ProbeAction::Discard => {
+                                let vp = fleet.vp(VpId(vp_id));
+                                let view = svc.probe_view(vp.asn, vp.client_hash()).map(|pv| {
+                                    IndexedView::new(
+                                        sites[pv.site],
+                                        pv.server,
+                                        pv.rtt,
+                                        pv.drop_prob,
+                                    )
+                                });
+                                let _ = execute_probe_fused(vp, view, &mut rng);
+                                (vp.id, None)
+                            }
+                            ProbeAction::Normal => {
+                                let vp = fleet.vp(VpId(vp_id));
+                                let view = svc.probe_view(vp.asn, vp.client_hash()).map(|pv| {
+                                    IndexedView::new(
+                                        sites[pv.site],
+                                        pv.server,
+                                        pv.rtt,
+                                        pv.drop_prob,
+                                    )
+                                });
+                                (vp.id, Some(execute_probe_fused(vp, view, &mut rng)))
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            for (i, letter_obs) in results.into_iter().enumerate() {
+                let letter = world.letters[i];
+                for (vp, obs) in letter_obs {
+                    let recorded = match obs {
+                        Some(obs) => world.pipeline.record_fast(vp, letter, t, obs),
+                        None => world.pipeline.note_missed(letter, t),
+                    };
+                    if let Err(err) = recorded {
+                        debug_assert!(false, "pipeline rejected wheel observation: {err}");
+                        let _ = err;
+                    }
                 }
             }
         }
@@ -222,6 +321,40 @@ mod tests {
             non_a += wheel.due(m).iter().filter(|&&(_, i)| i != a_idx).count();
         }
         assert_eq!(non_a, kept * 12);
+    }
+
+    #[test]
+    fn fused_and_reference_wheels_are_bit_identical() {
+        let mut cfg = ScenarioConfig::small();
+        cfg.horizon = SimTime::from_mins(10);
+        cfg.pipeline.horizon = cfg.horizon;
+        let rngf = SimRng::new(cfg.seed);
+
+        let run = |reference: bool| {
+            let mut cfg = cfg.clone();
+            cfg.reference_kernels = reference;
+            let mut obs = NoopInstrumentation;
+            let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+            let mut wheel = ProbeWheel::new(&world);
+            for m in 1..=8u64 {
+                wheel.tick(&mut world, SimTime::from_mins(m));
+            }
+            world.pipeline.finalize();
+            (world.letters.clone(), world.pipeline)
+        };
+        let (letters, fused) = run(false);
+        let (_, reference) = run(true);
+        for &l in &letters {
+            let (a, b) = (fused.letter(l), reference.letter(l));
+            assert_eq!(a.success.values(), b.success.values(), "letter {l}");
+            assert_eq!(a.errors.values(), b.errors.values(), "letter {l}");
+            assert_eq!(a.raster, b.raster, "letter {l}");
+            assert_eq!(a.observed_probes, b.observed_probes, "letter {l}");
+            assert_eq!(a.missed_probes, b.missed_probes, "letter {l}");
+            for (sa, sb) in a.site_counts.iter().zip(&b.site_counts) {
+                assert_eq!(sa.values(), sb.values(), "letter {l}");
+            }
+        }
     }
 
     #[test]

@@ -53,6 +53,7 @@ impl Subsystem for ResolverRefresh {
         for (i, &letter) in world.letters.iter().enumerate() {
             world.legit_weights[i] = world.resolvers.letter_weights(letter, &world.pop_weights);
         }
+        world.legit_weights_version += 1;
         world.legit_shares = world.resolvers.aggregate_shares(&world.pop_weights);
         if t < world.first_attack {
             world.baseline_shares = world.legit_shares;

@@ -189,9 +189,9 @@ impl Subsystem for RssacAccounting {
 
         // The .nl served-rate series rides the same fluid windows.
         if let Some(ni) = world.nl_index {
-            let served = world.services[ni].served_per_site();
+            let svc = &world.services[ni];
             for (s, series) in world.nl_series.iter_mut().enumerate() {
-                series.add_at(window_start, served[s] * dt.as_secs_f64());
+                series.add_at(window_start, svc.site(s).served_qps() * dt.as_secs_f64());
             }
         }
 

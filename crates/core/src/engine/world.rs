@@ -61,6 +61,11 @@ pub struct SimWorld<'a> {
     /// vector, so each letter's *total* rate is scaled by the
     /// aggregate shares separately.
     pub legit_weights: Vec<Vec<f64>>,
+    /// Content version of `legit_weights`, bumped whenever the resolver
+    /// subsystem rewrites the vectors. Catchment indices built over the
+    /// legit weights key on this (botnet and population weights are
+    /// immutable after build, so their version is a constant 1).
+    pub legit_weights_version: u64,
     pub legit_shares: [f64; 13],
     /// Converged pre-event shares, frozen once the first attack window
     /// opens — the analogue of the paper's 7-day RSSAC baseline.
@@ -220,6 +225,7 @@ impl<'a> SimWorld<'a> {
             pop_weights,
             resolvers,
             legit_weights,
+            legit_weights_version: 1,
             baseline_shares: legit_shares,
             legit_shares,
             first_attack,
@@ -241,11 +247,21 @@ impl<'a> SimWorld<'a> {
 
     /// Record a routing change with the letter's BGPmon-style collector
     /// (no-op for services without a collector, e.g. `.nl`).
+    ///
+    /// Every call follows exactly one RIB recompute on that service, so
+    /// the service's changed-AS set describes precisely the delta since
+    /// the collector's last observation and the collector can skip
+    /// unchanged peers. The reference path re-scans the full table; both
+    /// log identical update batches (debug builds audit the skips).
     pub fn observe_routes(&mut self, t: SimTime, svc_idx: usize) {
         let svc = &self.services[svc_idx];
         if let Some(letter) = svc.letter {
             if let Some(c) = self.collectors.get_mut(&letter) {
-                c.observe(t, svc.rib());
+                if self.cfg.reference_kernels {
+                    c.observe(t, svc.rib());
+                } else {
+                    c.observe_changed(t, svc.rib(), svc.changed_ases());
+                }
             }
         }
     }

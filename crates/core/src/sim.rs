@@ -101,7 +101,7 @@ pub fn run_observed(
     // follow the fluid step whose window it settles, and faults apply
     // after every production subsystem has ticked the instant.
     let mut subsystems: Vec<Box<dyn Subsystem>> = vec![
-        Box::new(FluidTraffic::new(cfg.fluid_step)),
+        Box::new(FluidTraffic::new(cfg.fluid_step).with_reference(cfg.reference_kernels)),
         Box::new(RssacAccounting::new(cfg)),
         Box::new(ProbeWheel::new(&world)),
         Box::new(ResolverRefresh::new(cfg.resolver_update)),

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Benchmark trajectory harness.
+#
+# Runs every criterion suite in crates/bench with the fixed sample
+# budget each group pins (10 samples for whole-scenario runs, 20 for
+# kernels and figure regeneration) and assembles a machine-readable
+# snapshot, BENCH_PR3.json, at the repo root:
+#
+#   {
+#     "baseline": { "<bench id>": {median_ns, min_ns, max_ns, samples} },
+#     "current":  { ... same shape, this run ... },
+#     "speedup":  { "<bench id>": baseline_median / current_median }
+#   }
+#
+# The "baseline" block is sticky: when BENCH_PR3.json already exists its
+# baseline is carried forward unchanged, so the committed pre-PR numbers
+# stay the fixed reference point and "speedup" always reads as
+# improvement-over-baseline. Delete the file (or the block) to re-freeze.
+#
+# Usage: scripts/bench.sh   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_PR3.json
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+for bench in kernels simulation figures ablations; do
+    BENCH_JSON="$TMP" cargo bench -p rootcast-bench --bench "$bench"
+done
+
+current=$(jq -s 'map({(.id): {median_ns, min_ns, max_ns, samples}}) | add' "$TMP")
+if [ -f "$OUT" ]; then
+    baseline=$(jq '.baseline' "$OUT")
+else
+    baseline=$current
+fi
+jq -n --argjson baseline "$baseline" --argjson current "$current" '{
+    baseline: $baseline,
+    current: $current,
+    speedup: (
+        $current | to_entries | map(
+            select($baseline[.key] != null and .value.median_ns > 0) |
+            {(.key): (($baseline[.key].median_ns / .value.median_ns * 100 | round) / 100)}
+        ) | add
+    )
+}' > "$OUT"
+echo "wrote $OUT"

@@ -83,6 +83,43 @@ fn small_scenario_is_bit_identical_across_runs_and_thread_counts() {
 }
 
 #[test]
+fn cached_kernels_are_bit_identical_to_reference_kernels() {
+    // The golden equivalence pin for the PR-3 fast paths: a full run on
+    // the cached kernels (catchment-epoch index, serial fluid tick,
+    // changed-AS collector diff, fused string-free probes) must agree
+    // bit for bit with the same scenario on the reference kernels (full
+    // per-AS scans, rayon fluid fan-out, textual CHAOS identities).
+    // Caching is an implementation detail; it must never change output.
+    let mut cfg = ScenarioConfig::small();
+    assert!(!cfg.reference_kernels, "cached kernels are the default");
+    let cached = summarize(&run(&cfg).expect("valid scenario"));
+    cfg.reference_kernels = true;
+    let reference = summarize(&run(&cfg).expect("valid scenario"));
+    assert_eq!(
+        cached, reference,
+        "cached kernels diverged from the reference implementations"
+    );
+}
+
+#[test]
+fn cached_kernels_are_bit_identical_across_thread_counts() {
+    // The cached fluid tick is serial, but the probe wheel still fans
+    // out per letter — pin thread-count independence on the exact
+    // configuration production runs use (reference_kernels = false).
+    let cfg = ScenarioConfig::small();
+    let default_pool = summarize(&run(&cfg).expect("valid scenario"));
+    let single = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread pool")
+        .install(|| summarize(&run(&cfg).expect("valid scenario")));
+    assert_eq!(
+        default_pool, single,
+        "cached-kernel run diverged across thread counts"
+    );
+}
+
+#[test]
 fn fault_runs_are_bit_identical_across_thread_counts() {
     // Same property with every fault kind in play: the injector draws
     // from its own RNG stream on the single-threaded engine loop, so

@@ -7,9 +7,57 @@
 //! wall-clock timing and stderr reporting. No statistics, warm-up
 //! phases, or HTML reports; enough to run `cargo bench` and compare
 //! medians by eye offline.
+//!
+//! Two harness extensions beyond plain timing:
+//!
+//! * `--test` on the command line (upstream criterion's smoke mode, what
+//!   `cargo bench -- --test` passes): every benchmark body runs exactly
+//!   once with no timing report, so CI can prove bench code still
+//!   compiles and runs without paying for samples.
+//! * `BENCH_JSON=<path>`: each finished benchmark appends one JSON line
+//!   `{"id":…,"median_ns":…,"min_ns":…,"max_ns":…,"samples":…}` to the
+//!   file, which `scripts/bench.sh` assembles into the repo-level
+//!   benchmark trajectory snapshot.
 
 use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// Smoke mode: run each benchmark once, skip timing entirely.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Append one machine-readable result line when `BENCH_JSON` is set.
+fn emit_json(label: &str, samples: &[Duration]) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    // JSON-escape the label defensively; bench ids are plain ASCII today.
+    let id: String = label
+        .chars()
+        .flat_map(|c| c.escape_default())
+        .collect::<String>();
+    let line = format!(
+        "{{\"id\":\"{id}\",\"median_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}\n",
+        samples[samples.len() / 2].as_nanos(),
+        samples[0].as_nanos(),
+        samples[samples.len() - 1].as_nanos(),
+        samples.len(),
+    );
+    match OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(line.as_bytes()) {
+                eprintln!("criterion stand-in: write to BENCH_JSON {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("criterion stand-in: open BENCH_JSON {path}: {e}"),
+    }
+}
 
 /// How `iter_batched` setup outputs are batched. The stand-in runs one
 /// measurement per batch element regardless, so this is advisory.
@@ -132,6 +180,14 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if test_mode() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        eprintln!("bench {label}: ok (--test mode, 1 run, untimed)");
+        return;
+    }
     let mut samples = Vec::with_capacity(sample_size);
     for _ in 0..sample_size {
         let mut b = Bencher {
@@ -147,6 +203,7 @@ fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         samples[0],
         samples[samples.len() - 1]
     );
+    emit_json(label, &samples);
 }
 
 /// Passed to benchmark closures; measures the routine under test.
