@@ -225,15 +225,18 @@ impl AnycastService {
     /// are rebuilt in one O(n_AS) pass. `weights_version` is a
     /// caller-managed counter identifying the weight vector's content
     /// (bump it whenever the vector is rewritten; must be ≥ 1).
+    ///
+    /// Returns `true` when the index was rebuilt, `false` on a cache
+    /// hit — callers feed this into cache-effectiveness metrics.
     pub fn refresh_catchment_index(
         &self,
         idx: &mut CatchmentIndex,
         weights: &[f64],
         weights_version: u64,
-    ) {
+    ) -> bool {
         debug_assert!(weights_version > 0, "weight versions start at 1");
         if idx.epoch == self.epoch && idx.weights_version == weights_version {
-            return;
+            return false;
         }
         debug_assert_eq!(
             weights.len(),
@@ -254,6 +257,14 @@ impl AnycastService {
         }
         idx.epoch = self.epoch;
         idx.weights_version = weights_version;
+        true
+    }
+
+    /// Scratch-buffer reuse stats of this service's RIB recomputes:
+    /// `(reuses, allocs)` from the underlying
+    /// [`RibScratch`](rootcast_bgp::RibScratch).
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        self.rib_scratch.reuse_stats()
     }
 
     /// Phase 1 of a fluid step: account the offered load into facility

@@ -234,6 +234,19 @@ impl Default for VpLetterState {
     }
 }
 
+/// Pipeline-wide tallies of probe clean/drop outcomes: how many
+/// recorded observations resolved to a site, timed out, or errored, and
+/// how many scheduled probes produced nothing at all. Counted once per
+/// recorded probe regardless of which entry point (fused or reference)
+/// delivered it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeOutcomeStats {
+    pub site: u64,
+    pub timeout: u64,
+    pub error: u64,
+    pub missed: u64,
+}
+
 /// The streaming pipeline.
 #[derive(Debug)]
 pub struct MeasurementPipeline {
@@ -244,6 +257,7 @@ pub struct MeasurementPipeline {
     letters: BTreeMap<Letter, LetterData>,
     /// Per (vp, letter-slot) streaming state.
     state: Vec<VpLetterState>,
+    outcomes: ProbeOutcomeStats,
 }
 
 impl MeasurementPipeline {
@@ -256,11 +270,17 @@ impl MeasurementPipeline {
             letter_order: Vec::new(),
             letters: BTreeMap::new(),
             state: Vec::new(),
+            outcomes: ProbeOutcomeStats::default(),
         }
     }
 
     pub fn config(&self) -> &PipelineConfig {
         &self.cfg
+    }
+
+    /// Pipeline-wide probe outcome tallies (clean/drop accounting).
+    pub fn outcome_stats(&self) -> ProbeOutcomeStats {
+        self.outcomes
     }
 
     /// Register a letter and its site codes before recording for it.
@@ -356,6 +376,7 @@ impl MeasurementPipeline {
             .get_mut(&letter)
             .ok_or(PipelineError::UnregisteredLetter(letter))?;
         data.missed_probes += 1;
+        self.outcomes.missed += 1;
         Ok(())
     }
 
@@ -431,6 +452,11 @@ impl MeasurementPipeline {
             }
         };
         data.observed_probes += 1;
+        match obs {
+            FastObs::Timeout => self.outcomes.timeout += 1,
+            FastObs::Error => self.outcomes.error += 1,
+            FastObs::Site { .. } => self.outcomes.site += 1,
+        }
         if let Some(raster) = &mut data.raster {
             if probe_seq < n_probes {
                 let row = &mut raster[vp.0 as usize];

@@ -196,7 +196,7 @@ mod tests {
     fn volume_is_skewed() {
         let (_, b) = botnet();
         let mut w: Vec<f64> = b.weights().iter().copied().filter(|&x| x > 0.0).collect();
-        w.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        w.sort_by(|a, b| b.total_cmp(a));
         // The top AS should carry several times the median member AS.
         let median = w[w.len() / 2];
         assert!(w[0] > 3.0 * median, "top={} median={median}", w[0]);

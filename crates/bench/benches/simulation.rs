@@ -64,6 +64,19 @@ fn bench_simulation(c: &mut Criterion) {
         &400usize,
         |b, &n| b.iter(|| black_box(sim::run(&cfg_pulse_wave(n)).expect("valid scenario"))),
     );
+    // The same run with the structured event trace enabled: the gap to
+    // `vps/1000` above is the whole observability overhead (the metrics
+    // registry is always on; only tracing is opt-in).
+    g.bench_with_input(
+        BenchmarkId::new("vps_traced", 1000usize),
+        &1000usize,
+        |b, &n| {
+            let mut cfg = cfg_with(n, 2);
+            cfg.trace.enabled = true;
+            cfg.trace.capacity = 65_536;
+            b.iter(|| black_box(sim::run(&cfg).expect("valid scenario")))
+        },
+    );
     g.finish();
 }
 

@@ -309,6 +309,18 @@ pub fn compute_rib_scoped(graph: &AsGraph, origins: &[Origin], active: &[bool]) 
 #[derive(Debug, Clone, Default)]
 pub struct RibScratch {
     global_active: Vec<bool>,
+    reuses: u64,
+    allocs: u64,
+}
+
+impl RibScratch {
+    /// How often recomputes through this scratch reused a warm buffer
+    /// versus having to (re)allocate it: `(reuses, allocs)`. The first
+    /// recompute always allocates; a steady-state caller should see
+    /// every subsequent one land in `reuses`.
+    pub fn reuse_stats(&self) -> (u64, u64) {
+        (self.reuses, self.allocs)
+    }
 }
 
 /// [`compute_rib_scoped`] writing into a caller-owned table and scratch
@@ -321,6 +333,11 @@ pub fn compute_rib_scoped_into(
     scratch: &mut RibScratch,
 ) {
     assert_eq!(origins.len(), active.len());
+    if scratch.global_active.capacity() >= origins.len() {
+        scratch.reuses += 1;
+    } else {
+        scratch.allocs += 1;
+    }
     // Pass 1: global origins route normally.
     scratch.global_active.clear();
     scratch.global_active.extend(

@@ -89,7 +89,11 @@ impl Figure14 {
                 format!("{}-{}", s.letter, s.code),
                 num(s.median, 0),
                 num(s.event_min, 0),
-                format!("{:.0}%", s.dip * 100.0),
+                if s.dip.is_finite() {
+                    format!("{:.0}%", s.dip * 100.0)
+                } else {
+                    "–".to_string()
+                },
                 sparkline(s.series.values()),
             ]);
         }

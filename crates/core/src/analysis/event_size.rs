@@ -206,6 +206,7 @@ impl Table3 {
                 "M IPs",
                 "ratio",
                 "base Mq/s",
+                "cover",
             ],
         );
         for r in &self.rows {
@@ -224,6 +225,7 @@ impl Table3 {
                 num(r.unique_m, 1),
                 format!("{}x", num(r.unique_ratio, 0)),
                 num(r.baseline_mqps, 2),
+                format!("{}%", num(r.coverage.fraction() * 100.0, 0)),
             ]);
         }
         for b in &self.bounds {
@@ -233,6 +235,7 @@ impl Table3 {
                 "".into(),
                 num(b.lower_mqps, 1),
                 num(b.lower_gbps, 1),
+                "".into(),
                 "".into(),
                 "".into(),
                 "".into(),
@@ -250,6 +253,7 @@ impl Table3 {
                 "".into(),
                 "".into(),
                 "".into(),
+                "".into(),
             ]);
             t.row(vec![
                 "upper".into(),
@@ -259,6 +263,7 @@ impl Table3 {
                 num(b.upper_gbps, 1),
                 "".into(),
                 num(b.upper_resp_gbps, 1),
+                "".into(),
                 "".into(),
                 "".into(),
                 "".into(),

@@ -18,16 +18,27 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Serialize)]
 pub struct Figure8 {
     pub rows: Vec<(Letter, BinnedSeries)>,
+    /// Per-row event share (fraction of flips inside the padded event
+    /// windows), aligned with `rows`. NaN when a letter never flipped —
+    /// the renderer shows those cells as "–".
+    pub event_shares: Vec<f64>,
 }
 
 pub fn figure8(out: &SimOutput) -> Figure8 {
-    Figure8 {
+    let mut fig = Figure8 {
         rows: out
             .letters
             .iter()
             .map(|&l| (l, out.pipeline.letter(l).flips.clone()))
             .collect(),
-    }
+        event_shares: Vec::new(),
+    };
+    fig.event_shares = fig
+        .rows
+        .iter()
+        .map(|&(l, _)| fig.event_share(out, l))
+        .collect();
+    fig
 }
 
 impl Figure8 {
@@ -60,12 +71,14 @@ impl Figure8 {
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(
             "Figure 8: site flips per letter",
-            &["letter", "total flips", "series"],
+            &["letter", "total flips", "event share", "series"],
         );
-        for (l, s) in &self.rows {
+        for (i, (l, s)) in self.rows.iter().enumerate() {
+            let share = self.event_shares.get(i).copied().unwrap_or(f64::NAN);
             t.row(vec![
                 l.to_string(),
                 num(s.values().iter().sum(), 0),
+                num(share, 2),
                 sparkline(s.values()),
             ]);
         }

@@ -115,7 +115,9 @@ impl Figure3 {
     pub fn render(&self) -> TextTable {
         let mut t = TextTable::new(
             "Figure 3: VPs with successful queries per letter",
-            &["letter", "sites", "baseline", "worst", "survival", "series"],
+            &[
+                "letter", "sites", "baseline", "worst", "survival", "cover", "series",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -124,6 +126,7 @@ impl Figure3 {
                 num(r.baseline, 0),
                 num(r.worst, 0),
                 num(r.survival, 2),
+                format!("{}%", num(r.coverage.fraction() * 100.0, 0)),
                 sparkline(r.series.values()),
             ]);
         }
@@ -134,7 +137,12 @@ impl Figure3 {
                 "".into(),
                 "".into(),
                 "".into(),
-                format!("worst = {:.0} * sites + {:.0}", reg.slope, reg.intercept),
+                "".into(),
+                format!(
+                    "worst = {} * sites + {}",
+                    num(reg.slope, 0),
+                    num(reg.intercept, 0)
+                ),
             ]);
         }
         t

@@ -3,6 +3,7 @@
 
 use crate::deployment::facilities;
 use crate::engine::faults::{FaultKind, FaultPlan};
+use crate::engine::trace::TraceConfig;
 use rootcast_atlas::{FleetParams, PipelineConfig};
 use rootcast_attack::{AttackSchedule, BotnetParams, DEFAULT_LEGIT_TOTAL_QPS};
 use rootcast_dns::Name;
@@ -26,6 +27,11 @@ pub enum ConfigError {
     BadAttack(String),
     /// A fault spec in the plan is malformed.
     BadFault(String),
+    /// The topology parameters fail their own invariants
+    /// ([`TopologyParams::validate`](rootcast_topology::TopologyParams::validate)).
+    BadTopology(String),
+    /// The trace configuration is unusable.
+    BadTrace(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -36,6 +42,8 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFleet(m) => write!(f, "bad fleet: {m}"),
             ConfigError::BadAttack(m) => write!(f, "bad attack window: {m}"),
             ConfigError::BadFault(m) => write!(f, "bad fault spec: {m}"),
+            ConfigError::BadTopology(m) => write!(f, "bad topology: {m}"),
+            ConfigError::BadTrace(m) => write!(f, "bad trace config: {m}"),
         }
     }
 }
@@ -93,6 +101,10 @@ pub struct ScenarioConfig {
     /// re-scan full tables. Outputs are bit-identical either way — this
     /// toggle exists so the golden equivalence tests can prove it.
     pub reference_kernels: bool,
+    /// Structured event tracing (off by default). Enabling it never
+    /// changes simulation outputs: the trace is an observer, and the
+    /// determinism suite pins trace-on and trace-off runs bit-identical.
+    pub trace: TraceConfig,
 }
 
 impl ScenarioConfig {
@@ -126,6 +138,7 @@ impl ScenarioConfig {
             nl_qps: 80_000.0,
             faults: FaultPlan::none(),
             reference_kernels: false,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -151,6 +164,14 @@ impl ScenarioConfig {
     /// [`run`](crate::sim::run) before any state is built, so a bad
     /// knob fails fast with a typed error instead of a mid-run panic.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        self.topology
+            .validate()
+            .map_err(|e| ConfigError::BadTopology(e.to_string()))?;
+        if self.trace.enabled && self.trace.capacity == 0 {
+            return Err(ConfigError::BadTrace(
+                "enabled trace needs a positive capacity".into(),
+            ));
+        }
         if self.horizon <= SimTime::ZERO {
             return Err(ConfigError::BadTiming("horizon must be positive".into()));
         }
@@ -330,5 +351,19 @@ mod tests {
             },
         );
         assert!(matches!(cfg.validate(), Err(ConfigError::BadFault(_))));
+
+        // Topology invariants surface as typed errors before any state
+        // is built, instead of the old mid-generation panic.
+        let mut cfg = ScenarioConfig::small();
+        cfg.topology.stub_multihome_prob = f64::NAN;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadTopology(_))));
+        let mut cfg = ScenarioConfig::small();
+        cfg.topology.n_tier1 = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadTopology(_))));
+
+        let mut cfg = ScenarioConfig::small();
+        cfg.trace.enabled = true;
+        cfg.trace.capacity = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadTrace(_))));
     }
 }

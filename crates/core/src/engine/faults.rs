@@ -411,6 +411,22 @@ impl Subsystem for FaultInjector {
             }
             self.cursor += 1;
             let record = self.apply(world, t, idx, inject);
+            let key = match record.action {
+                FaultAction::Inject => crate::engine::metrics::keys::FAULT_INJECTIONS,
+                FaultAction::Recover => crate::engine::metrics::keys::FAULT_RECOVERIES,
+            };
+            world.metrics.inc(key, 1);
+            world.trace.record_with(t, || {
+                let description = record.description.clone();
+                match record.action {
+                    FaultAction::Inject => {
+                        crate::engine::trace::TraceEventKind::FaultInjected { description }
+                    }
+                    FaultAction::Recover => {
+                        crate::engine::trace::TraceEventKind::FaultRecovered { description }
+                    }
+                }
+            });
             world.obs.on_fault(t, &record);
         }
         Vec::new()

@@ -7,6 +7,8 @@
 //! [`FluidScratch`](crate::engine::FluidScratch) for the accounting
 //! subsystem ticking at the same instant.
 
+use crate::engine::metrics::keys;
+use crate::engine::trace::TraceEventKind;
 use crate::engine::{SimWorld, Subsystem};
 use rayon::prelude::*;
 use rootcast_anycast::CatchmentIndex;
@@ -34,6 +36,10 @@ pub struct FluidTraffic {
     leg_idx: Vec<CatchmentIndex>,
     /// Reusable legitimate-load buffer.
     leg: Vec<f64>,
+    /// Per-service, per-site saturation flags from the previous window
+    /// (a site is saturated while it drops at the facility or queue),
+    /// for onset/clear edge detection.
+    saturated: Vec<Vec<bool>>,
 }
 
 impl FluidTraffic {
@@ -44,6 +50,7 @@ impl FluidTraffic {
             atk_idx: Vec::new(),
             leg_idx: Vec::new(),
             leg: Vec::new(),
+            saturated: Vec::new(),
         }
     }
 
@@ -115,19 +122,31 @@ impl Subsystem for FluidTraffic {
             offered_attack.resize_with(n, Vec::new);
             self.atk_idx.resize_with(n, Default::default);
             self.leg_idx.resize_with(n, Default::default);
+            let (mut hits, mut rebuilds) = (0u64, 0u64);
+            let mut note = |rebuilt: bool| {
+                if rebuilt {
+                    rebuilds += 1;
+                } else {
+                    hits += 1;
+                }
+            };
             for i in 0..n {
                 let svc = &world.services[i];
                 let atk_out = &mut offered_attack[i];
                 let out = &mut offered[i];
                 if let Some(letter) = svc.letter {
                     let atk_rate = cfg.attack.rate_for(letter, window_start);
-                    svc.refresh_catchment_index(&mut self.atk_idx[i], world.botnet.weights(), 1);
+                    note(svc.refresh_catchment_index(
+                        &mut self.atk_idx[i],
+                        world.botnet.weights(),
+                        1,
+                    ));
                     self.atk_idx[i].offered_per_site_into(atk_rate, atk_out);
-                    svc.refresh_catchment_index(
+                    note(svc.refresh_catchment_index(
                         &mut self.leg_idx[i],
                         &world.legit_weights[i],
                         world.legit_weights_version,
-                    );
+                    ));
                     self.leg_idx[i].offered_per_site_into(
                         cfg.legit_total_qps * world.legit_shares[letter as usize],
                         &mut self.leg,
@@ -135,13 +154,16 @@ impl Subsystem for FluidTraffic {
                     out.clear();
                     out.extend(atk_out.iter().zip(&self.leg).map(|(a, b)| a + b));
                 } else {
-                    svc.refresh_catchment_index(&mut self.leg_idx[i], &world.pop_weights, 1);
+                    note(svc.refresh_catchment_index(&mut self.leg_idx[i], &world.pop_weights, 1));
                     self.leg_idx[i].offered_per_site_into(cfg.nl_qps, out);
                     atk_out.clear();
                     atk_out.resize(out.len(), 0.0);
                 }
             }
+            world.metrics.inc(keys::CATCHMENT_INDEX_HITS, hits);
+            world.metrics.inc(keys::CATCHMENT_INDEX_REBUILDS, rebuilds);
         }
+        world.metrics.inc(keys::FLUID_WINDOWS, 1);
 
         // 2. Facility links first (shared risk), then site queues.
         for (svc, off) in world.services.iter().zip(&offered) {
@@ -183,17 +205,70 @@ impl Subsystem for FluidTraffic {
             }
         }
 
+        // Saturation edges: a site is saturated while it drops queries
+        // at the shared facility or its own ingress queue. Onsets and
+        // clears are counted, traced, and the live count gauged.
+        self.saturated.resize_with(world.services.len(), Vec::new);
+        for (i, svc) in world.services.iter().enumerate() {
+            let prev = &mut self.saturated[i];
+            prev.resize(svc.sites().len(), false);
+            for (s, site) in svc.sites().iter().enumerate() {
+                let sat = site.facility_loss > 0.0 || site.last_loss > 0.0;
+                if sat != prev[s] {
+                    let key = if sat {
+                        keys::SITE_SATURATION_ONSETS
+                    } else {
+                        keys::SITE_SATURATION_CLEARS
+                    };
+                    world.metrics.inc(key, 1);
+                    world.trace.record_with(t, || {
+                        let service = svc.name.clone();
+                        let code = site.spec.code.clone();
+                        if sat {
+                            TraceEventKind::SiteSaturationOnset {
+                                service,
+                                site: code,
+                            }
+                        } else {
+                            TraceEventKind::SiteSaturationClear {
+                                service,
+                                site: code,
+                            }
+                        }
+                    });
+                    prev[s] = sat;
+                }
+            }
+        }
+        let live: usize = self
+            .saturated
+            .iter()
+            .map(|v| v.iter().filter(|&&s| s).count())
+            .sum();
+        world.metrics.set_gauge(keys::SITES_SATURATED, live as f64);
+
         // Per-letter load and queue-depth instrumentation.
         for (i, svc) in world.services.iter().enumerate() {
             let Some(letter) = svc.letter else { continue };
             let offered_total: f64 = offered[i].iter().sum();
             let served_total: f64 = svc.served_total();
             world
+                .metrics
+                .max_gauge(keys::PEAK_OFFERED_QPS, offered_total);
+            if offered_total > 0.0 {
+                let ratio = served_total / offered_total;
+                world.metrics.min_gauge(keys::WORST_SERVED_RATIO, ratio);
+                world.metrics.observe(keys::SERVED_RATIO, ratio);
+            }
+            world
                 .obs
                 .on_letter_load(t, letter, offered_total, served_total);
             for site in svc.sites() {
                 let delay = site.queue_delay();
                 if !delay.is_zero() {
+                    world
+                        .metrics
+                        .observe(keys::QUEUE_DELAY_MS, delay.as_secs_f64() * 1e3);
                     world.obs.on_queue_depth(t, letter, &site.spec.code, delay);
                 }
             }
@@ -206,7 +281,16 @@ impl Subsystem for FluidTraffic {
                 svc.apply_policies(t, &world.graph)
             };
             if !changes.is_empty() {
+                world
+                    .metrics
+                    .inc(keys::POLICY_TRANSITIONS, changes.len() as u64);
                 if let Some(letter) = world.services[i].letter {
+                    world
+                        .trace
+                        .record_with(t, || TraceEventKind::PolicyTransition {
+                            letter: (b'A' + letter as u8) as char,
+                            changes: changes.len(),
+                        });
                     world.obs.on_policy_transition(t, letter, &changes);
                 }
                 world.observe_routes(t, i);

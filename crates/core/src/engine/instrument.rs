@@ -19,6 +19,14 @@ use std::time::Duration;
 /// host-side measurements (they vary run to run); everything else is
 /// deterministic simulation state.
 pub trait Instrumentation {
+    /// A driver phase (`build_world`, `drive`, `finalize`) began.
+    /// Phases nest like a stack; every start is matched by an
+    /// [`on_phase_end`](Instrumentation::on_phase_end) with the same name.
+    fn on_phase_start(&mut self, _phase: &'static str) {}
+
+    /// The innermost open driver phase ended.
+    fn on_phase_end(&mut self, _phase: &'static str) {}
+
     /// A subsystem finished its tick at simulated time `t`, having
     /// consumed `wall` of host time.
     fn on_subsystem_tick(&mut self, _subsystem: &'static str, _t: SimTime, _wall: Duration) {}
@@ -64,6 +72,9 @@ pub struct SubsystemStats {
 /// [`SimOutput`](crate::sim::SimOutput) by [`run`](crate::sim::run).
 #[derive(Debug, Default, Clone)]
 pub struct RunStats {
+    /// Host wall time per driver phase (`build_world`, `drive`,
+    /// `finalize`), accumulated over matched start/end pairs.
+    pub phases: BTreeMap<&'static str, Duration>,
     /// Per-subsystem tick counts and host wall time.
     pub subsystems: BTreeMap<&'static str, SubsystemStats>,
     /// Peak offered load seen by any single letter, q/s.
@@ -95,6 +106,8 @@ impl RunStats {
 #[derive(Debug, Clone)]
 pub struct StatsCollector {
     stats: RunStats,
+    /// Open driver phases: (name, start instant).
+    open_phases: Vec<(&'static str, std::time::Instant)>,
 }
 
 impl Default for StatsCollector {
@@ -104,6 +117,7 @@ impl Default for StatsCollector {
                 worst_served_ratio: 1.0,
                 ..RunStats::default()
             },
+            open_phases: Vec::new(),
         }
     }
 }
@@ -115,6 +129,17 @@ impl StatsCollector {
 }
 
 impl Instrumentation for StatsCollector {
+    fn on_phase_start(&mut self, phase: &'static str) {
+        self.open_phases.push((phase, std::time::Instant::now()));
+    }
+
+    fn on_phase_end(&mut self, phase: &'static str) {
+        if let Some((name, started)) = self.open_phases.pop() {
+            debug_assert_eq!(name, phase, "phase markers must nest");
+            *self.stats.phases.entry(name).or_default() += started.elapsed();
+        }
+    }
+
     fn on_subsystem_tick(&mut self, subsystem: &'static str, _t: SimTime, wall: Duration) {
         let s = self.stats.subsystems.entry(subsystem).or_default();
         s.ticks += 1;
@@ -186,6 +211,18 @@ mod tests {
         let (l, site, d) = stats.deepest_queue.unwrap();
         assert_eq!((l, site.as_str()), (Letter::K, "AMS"));
         assert_eq!(d, SimDuration::from_millis(1500));
+    }
+
+    #[test]
+    fn collector_accumulates_phase_wall_time() {
+        let mut c = StatsCollector::default();
+        c.on_phase_start("drive");
+        c.on_phase_end("drive");
+        c.on_phase_start("drive");
+        c.on_phase_end("drive");
+        let stats = c.finish();
+        assert_eq!(stats.phases.len(), 1);
+        assert!(stats.phases.contains_key("drive"));
     }
 
     #[test]

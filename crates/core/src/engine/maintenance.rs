@@ -8,6 +8,7 @@
 //! outside the events. Withdrawals and re-announcements are observed by
 //! the letter's route collector like any other routing change.
 
+use crate::engine::metrics::keys;
 use crate::engine::{SimWorld, Subsystem};
 use rand::Rng;
 use rootcast_anycast::SiteIdx;
@@ -63,6 +64,7 @@ impl MaintenanceChurn {
         let site = announced[self.rng.gen_range(0..announced.len())];
         let graph = &world.graph;
         if world.services[svc_idx].set_announced(site, false, graph) {
+            world.metrics.inc(keys::MAINTENANCE_WITHDRAWALS, 1);
             world.observe_routes(t, svc_idx);
             self.pending.push((t + MAINTENANCE_DOWNTIME, svc_idx, site));
         }
@@ -91,6 +93,7 @@ impl Subsystem for MaintenanceChurn {
         for (svc_idx, site) in due {
             let graph = &world.graph;
             if world.services[svc_idx].set_announced(site, true, graph) {
+                world.metrics.inc(keys::MAINTENANCE_REANNOUNCEMENTS, 1);
                 world.observe_routes(t, svc_idx);
             }
         }

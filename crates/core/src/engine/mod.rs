@@ -29,9 +29,12 @@ pub mod faults;
 pub mod fluid;
 pub mod instrument;
 pub mod maintenance;
+pub mod metrics;
 pub mod probes;
+pub mod profile;
 pub mod resolvers;
 pub mod rssac;
+pub mod trace;
 pub mod world;
 
 pub use faults::{
@@ -41,9 +44,12 @@ pub use faults::{
 pub use fluid::FluidTraffic;
 pub use instrument::{Instrumentation, NoopInstrumentation, RunStats, StatsCollector};
 pub use maintenance::MaintenanceChurn;
+pub use metrics::{engine_registry, render_metrics};
 pub use probes::ProbeWheel;
+pub use profile::{PhaseSpan, Profiler, RunProfile, SubsystemProfile, TickSpan};
 pub use resolvers::ResolverRefresh;
 pub use rssac::RssacAccounting;
+pub use trace::{EventTrace, TraceConfig, TraceEvent, TraceEventKind, TraceSnapshot};
 pub use world::{FluidScratch, SimWorld};
 
 use rootcast_netsim::{EventQueue, SimTime};

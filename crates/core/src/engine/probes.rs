@@ -9,6 +9,7 @@
 //! bit-identical at any thread count.
 
 use crate::engine::faults::ProbeAction;
+use crate::engine::metrics::keys;
 use crate::engine::{SimWorld, Subsystem};
 use rayon::prelude::*;
 use rootcast_anycast::AnycastService;
@@ -189,6 +190,9 @@ impl Subsystem for ProbeWheel {
                 .collect();
             for (i, letter_obs) in results.into_iter().enumerate() {
                 let letter = world.letters[i];
+                world
+                    .metrics
+                    .inc(keys::PROBES_REFERENCE, letter_obs.len() as u64);
                 for (vp, obs) in letter_obs {
                     let recorded = match obs {
                         Some(obs) => world.pipeline.record(vp, letter, t, &obs),
@@ -250,6 +254,9 @@ impl Subsystem for ProbeWheel {
                 .collect();
             for (i, letter_obs) in results.into_iter().enumerate() {
                 let letter = world.letters[i];
+                world
+                    .metrics
+                    .inc(keys::PROBES_FUSED, letter_obs.len() as u64);
                 for (vp, obs) in letter_obs {
                     let recorded = match obs {
                         Some(obs) => world.pipeline.record_fast(vp, letter, t, obs),

@@ -1,0 +1,338 @@
+//! The run profiler: per-phase and per-subsystem wall-clock timing,
+//! rendered as a breakdown table or exported as chrome://tracing
+//! trace-event JSON.
+//!
+//! [`Profiler`] is an [`Instrumentation`] observer — it watches phase
+//! markers and subsystem ticks without touching simulation state, so a
+//! profiled run's outputs stay bit-identical to an unprofiled one. The
+//! finished [`RunProfile`] renders two ways:
+//!
+//! * [`RunProfile::breakdown`] — text tables of phase and subsystem
+//!   wall time for terminal inspection;
+//! * [`RunProfile::chrome_trace`] — a trace-event JSON array (`B`/`E`
+//!   phase pairs plus `X` complete events for ticks, timestamps in
+//!   microseconds) that loads directly into `chrome://tracing`,
+//!   Perfetto, or `scripts/trace.sh`.
+
+use crate::engine::instrument::Instrumentation;
+use crate::render::TextTable;
+use rootcast_netsim::SimTime;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// One driver phase (`build_world`, `drive`, `finalize`) as a closed
+/// begin/end interval on the profiler's wall clock, microseconds since
+/// the profiler was armed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    pub name: &'static str,
+    pub start_us: u64,
+    pub end_us: u64,
+}
+
+impl PhaseSpan {
+    pub fn wall(&self) -> Duration {
+        Duration::from_micros(self.end_us - self.start_us)
+    }
+}
+
+/// One subsystem tick as a complete span: which subsystem, at which
+/// simulated instant, over which wall interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickSpan {
+    pub subsystem: &'static str,
+    pub t: SimTime,
+    pub start_us: u64,
+    pub dur_us: u64,
+}
+
+/// The profiling observer. Arm it, pass it to
+/// [`run_observed`](crate::sim::run_observed) (or use
+/// [`run_profiled`](crate::sim::run_profiled), which combines it with
+/// the default stats collector), then call [`Profiler::finish`].
+#[derive(Debug)]
+pub struct Profiler {
+    armed: Instant,
+    open: Vec<(&'static str, u64)>,
+    phases: Vec<PhaseSpan>,
+    ticks: Vec<TickSpan>,
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler {
+            armed: Instant::now(),
+            open: Vec::new(),
+            phases: Vec::new(),
+            ticks: Vec::new(),
+        }
+    }
+}
+
+impl Profiler {
+    fn now_us(&self) -> u64 {
+        self.armed.elapsed().as_micros() as u64
+    }
+
+    /// Close out and return the profile. Unclosed phases (a panic path)
+    /// are closed at the current instant so the export stays well-formed.
+    pub fn finish(mut self) -> RunProfile {
+        let now = self.now_us();
+        while let Some((name, start_us)) = self.open.pop() {
+            self.phases.push(PhaseSpan {
+                name,
+                start_us,
+                end_us: now,
+            });
+        }
+        RunProfile {
+            phases: self.phases,
+            ticks: self.ticks,
+        }
+    }
+}
+
+impl Instrumentation for Profiler {
+    fn on_phase_start(&mut self, phase: &'static str) {
+        let now = self.now_us();
+        self.open.push((phase, now));
+    }
+
+    fn on_phase_end(&mut self, phase: &'static str) {
+        let now = self.now_us();
+        match self.open.pop() {
+            Some((name, start_us)) => {
+                debug_assert_eq!(name, phase, "phase markers must nest");
+                self.phases.push(PhaseSpan {
+                    name,
+                    start_us,
+                    end_us: now,
+                });
+            }
+            None => debug_assert!(false, "phase end {phase:?} without a start"),
+        }
+    }
+
+    fn on_subsystem_tick(&mut self, subsystem: &'static str, t: SimTime, wall: Duration) {
+        let end = self.now_us();
+        let dur_us = wall.as_micros() as u64;
+        self.ticks.push(TickSpan {
+            subsystem,
+            t,
+            start_us: end.saturating_sub(dur_us),
+            dur_us,
+        });
+    }
+}
+
+/// Per-subsystem aggregate over a profiled run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SubsystemProfile {
+    pub ticks: u64,
+    pub wall: Duration,
+    pub max_tick: Duration,
+}
+
+/// The finished profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunProfile {
+    /// Driver phases in completion order.
+    pub phases: Vec<PhaseSpan>,
+    /// Every subsystem tick, in tick order.
+    pub ticks: Vec<TickSpan>,
+}
+
+impl RunProfile {
+    /// Aggregate tick spans per subsystem.
+    pub fn subsystems(&self) -> BTreeMap<&'static str, SubsystemProfile> {
+        let mut agg: BTreeMap<&'static str, SubsystemProfile> = BTreeMap::new();
+        for tick in &self.ticks {
+            let s = agg.entry(tick.subsystem).or_default();
+            s.ticks += 1;
+            let d = Duration::from_micros(tick.dur_us);
+            s.wall += d;
+            if d > s.max_tick {
+                s.max_tick = d;
+            }
+        }
+        agg
+    }
+
+    /// Render the phase and subsystem breakdown as text tables.
+    pub fn breakdown(&self) -> Vec<TextTable> {
+        let mut phases = TextTable::new("Run phases", &["phase", "wall ms"]);
+        for p in &self.phases {
+            phases.row(vec![
+                p.name.to_string(),
+                format!("{:.2}", p.wall().as_secs_f64() * 1e3),
+            ]);
+        }
+        let mut subs = TextTable::new(
+            "Subsystem wall time",
+            &["subsystem", "ticks", "total ms", "mean µs", "max µs"],
+        );
+        for (name, s) in self.subsystems() {
+            let mean_us = if s.ticks > 0 {
+                s.wall.as_micros() as f64 / s.ticks as f64
+            } else {
+                0.0
+            };
+            subs.row(vec![
+                name.to_string(),
+                s.ticks.to_string(),
+                format!("{:.2}", s.wall.as_secs_f64() * 1e3),
+                format!("{mean_us:.1}"),
+                s.max_tick.as_micros().to_string(),
+            ]);
+        }
+        vec![phases, subs]
+    }
+
+    /// Export as a chrome://tracing trace-event JSON array: one `B`/`E`
+    /// pair per phase, one `X` complete event per subsystem tick (its
+    /// `args` carry the simulated instant), sorted by timestamp.
+    pub fn chrome_trace(&self) -> String {
+        fn event(
+            name: &str,
+            ph: &str,
+            ts: u64,
+            tid: u64,
+            extra: impl FnOnce(&mut BTreeMap<String, Value>),
+        ) -> (u64, Value) {
+            let mut obj = BTreeMap::new();
+            obj.insert("name".into(), Value::String(name.to_string()));
+            obj.insert("ph".into(), Value::String(ph.to_string()));
+            obj.insert("ts".into(), Value::Number(ts as f64));
+            obj.insert("pid".into(), Value::Number(1.0));
+            obj.insert("tid".into(), Value::Number(tid as f64));
+            extra(&mut obj);
+            (ts, Value::Object(obj))
+        }
+        // tid 1 = driver phases, tid 2 = subsystem ticks.
+        let mut events: Vec<(u64, Value)> = Vec::new();
+        for p in &self.phases {
+            events.push(event(p.name, "B", p.start_us, 1, |_| {}));
+            events.push(event(p.name, "E", p.end_us, 1, |_| {}));
+        }
+        for t in &self.ticks {
+            events.push(event(t.subsystem, "X", t.start_us, 2, |obj| {
+                obj.insert("dur".into(), Value::Number(t.dur_us as f64));
+                let mut args = BTreeMap::new();
+                args.insert(
+                    "sim_time_s".into(),
+                    Value::Number(t.t.as_nanos() as f64 / 1e9),
+                );
+                obj.insert("args".into(), Value::Object(args));
+            }));
+        }
+        // Stable sort: timestamps ascending, insertion order breaking
+        // ties, so a B at ts X stays ahead of its E at the same ts.
+        events.sort_by_key(|&(ts, _)| ts);
+        Value::Array(events.into_iter().map(|(_, v)| v).collect()).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_fixture() -> RunProfile {
+        RunProfile {
+            phases: vec![
+                PhaseSpan {
+                    name: "build_world",
+                    start_us: 0,
+                    end_us: 1_000,
+                },
+                PhaseSpan {
+                    name: "drive",
+                    start_us: 1_000,
+                    end_us: 5_000,
+                },
+            ],
+            ticks: vec![
+                TickSpan {
+                    subsystem: "fluid",
+                    t: SimTime::from_mins(1),
+                    start_us: 1_100,
+                    dur_us: 300,
+                },
+                TickSpan {
+                    subsystem: "fluid",
+                    t: SimTime::from_mins(2),
+                    start_us: 2_000,
+                    dur_us: 500,
+                },
+                TickSpan {
+                    subsystem: "probes",
+                    t: SimTime::from_mins(1),
+                    start_us: 1_500,
+                    dur_us: 200,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn profiler_collects_nested_phases_and_ticks() {
+        let mut p = Profiler::default();
+        p.on_phase_start("drive");
+        p.on_subsystem_tick("fluid", SimTime::from_mins(1), Duration::from_micros(40));
+        p.on_phase_end("drive");
+        let profile = p.finish();
+        assert_eq!(profile.phases.len(), 1);
+        assert_eq!(profile.phases[0].name, "drive");
+        assert!(profile.phases[0].end_us >= profile.phases[0].start_us);
+        assert_eq!(profile.ticks.len(), 1);
+        assert_eq!(profile.ticks[0].dur_us, 40);
+    }
+
+    #[test]
+    fn finish_closes_dangling_phases() {
+        let mut p = Profiler::default();
+        p.on_phase_start("drive");
+        let profile = p.finish();
+        assert_eq!(profile.phases.len(), 1);
+        assert!(profile.phases[0].end_us >= profile.phases[0].start_us);
+    }
+
+    #[test]
+    fn breakdown_aggregates_subsystems() {
+        let profile = profile_fixture();
+        let subs = profile.subsystems();
+        assert_eq!(subs["fluid"].ticks, 2);
+        assert_eq!(subs["fluid"].wall, Duration::from_micros(800));
+        assert_eq!(subs["fluid"].max_tick, Duration::from_micros(500));
+        let tables = profile.breakdown();
+        assert_eq!(tables.len(), 2);
+        let s = tables[1].to_string();
+        assert!(s.contains("fluid"), "{s}");
+        assert!(s.contains("probes"), "{s}");
+    }
+
+    #[test]
+    fn chrome_trace_is_sorted_and_balanced() {
+        let json = profile_fixture().chrome_trace();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        // Two phases -> two B and two E events; three ticks -> three X.
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+        // Timestamps appear in non-decreasing order.
+        let ts: Vec<u64> = json
+            .split("\"ts\":")
+            .skip(1)
+            .map(|s| {
+                s.split(|c: char| !c.is_ascii_digit())
+                    .next()
+                    .unwrap()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "unsorted ts: {ts:?}");
+        // Sim-time args ride along on the tick spans.
+        assert!(json.contains("\"sim_time_s\":60"));
+    }
+}

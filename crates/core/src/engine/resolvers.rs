@@ -7,6 +7,7 @@
 //! pre-event aggregate shares are frozen as the RSSAC baseline once the
 //! first attack window opens.
 
+use crate::engine::metrics::keys;
 use crate::engine::{SimWorld, Subsystem};
 use rootcast_attack::LetterObservation;
 use rootcast_netsim::{SimDuration, SimTime};
@@ -54,6 +55,7 @@ impl Subsystem for ResolverRefresh {
             world.legit_weights[i] = world.resolvers.letter_weights(letter, &world.pop_weights);
         }
         world.legit_weights_version += 1;
+        world.metrics.inc(keys::RESOLVER_REFRESHES, 1);
         world.legit_shares = world.resolvers.aggregate_shares(&world.pop_weights);
         if t < world.first_attack {
             world.baseline_shares = world.legit_shares;

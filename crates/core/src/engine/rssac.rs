@@ -12,6 +12,8 @@
 //! [`FluidTraffic`]: crate::engine::FluidTraffic
 //! [`FluidScratch`]: crate::engine::FluidScratch
 
+use crate::engine::metrics::keys;
+use crate::engine::trace::TraceEventKind;
 use crate::engine::{SimWorld, Subsystem};
 use rootcast_dns::rrl::blended_suppression;
 use rootcast_dns::{edns0_opt, Letter, Message, Name, RootZone, RrClass, RrType};
@@ -29,6 +31,10 @@ pub struct RssacAccounting {
     attack_sizes: Vec<(SimTime, usize, usize)>,
     legit_query_size: usize,
     legit_response_size: usize,
+    /// Was each letter's accounting stressed (RRL active) in its
+    /// previous observed window? Indexed by `Letter as usize`, for
+    /// activation edge detection.
+    stressed_prev: [bool; 13],
 }
 
 impl RssacAccounting {
@@ -70,6 +76,7 @@ impl RssacAccounting {
             attack_sizes,
             legit_query_size: query.wire_size(),
             legit_response_size: response.wire_size(),
+            stressed_prev: [false; 13],
         }
     }
 
@@ -126,10 +133,19 @@ impl Subsystem for RssacAccounting {
             // skip both the collector and the per-day accumulators.
             if fault_factor.is_some_and(|f| f <= 0.0) {
                 collector.note_window(window_start, dt, false);
+                world.metrics.inc(keys::RSSAC_WINDOWS_GAPPED, 1);
                 continue;
             }
             let atk_rate = cfg.attack.rate_for(letter, window_start);
             let stressed = atk_rate > 0.0;
+            world.metrics.inc(keys::RSSAC_WINDOWS_OBSERVED, 1);
+            if stressed && !self.stressed_prev[letter as usize] {
+                world.metrics.inc(keys::RRL_ACTIVATIONS, 1);
+                world.trace.record_with(t, || TraceEventKind::RrlActivated {
+                    letter: (b'A' + letter as u8) as char,
+                });
+            }
+            self.stressed_prev[letter as usize] = stressed;
             // Served per site splits proportionally between attack and
             // legit (same queues).
             let mut atk_served = 0.0;

@@ -6,7 +6,9 @@ use crate::config::ScenarioConfig;
 use crate::deployment::{self, LetterDeployment};
 use crate::engine::faults::FaultState;
 use crate::engine::instrument::Instrumentation;
+use crate::engine::metrics::{engine_registry, keys};
 use crate::engine::probes::ServiceTarget;
+use crate::engine::trace::{EventTrace, TraceEventKind};
 use rand::Rng;
 use rootcast_anycast::{AnycastService, FacilityTable};
 use rootcast_atlas::{
@@ -90,6 +92,14 @@ pub struct SimWorld<'a> {
     /// Live fault state written by the injector and consulted by the
     /// probing and accounting subsystems. Empty when no plan is active.
     pub faults: FaultState,
+    /// The engine's metric registry (see
+    /// [`metrics::keys`](crate::engine::metrics::keys)). Write-only
+    /// during the run; snapshotted into the output afterwards.
+    pub metrics: rootcast_netsim::MetricsRegistry,
+    /// Bounded structured event trace, armed by
+    /// [`ScenarioConfig::trace`]; disabled it records nothing and
+    /// allocates nothing.
+    pub trace: EventTrace,
     pub obs: &'a mut dyn Instrumentation,
 }
 
@@ -241,6 +251,8 @@ impl<'a> SimWorld<'a> {
             deployments,
             fluid: FluidScratch::default(),
             faults: FaultState::default(),
+            metrics: engine_registry(),
+            trace: EventTrace::new(&cfg.trace),
             obs,
         }
     }
@@ -255,6 +267,18 @@ impl<'a> SimWorld<'a> {
     /// log identical update batches (debug builds audit the skips).
     pub fn observe_routes(&mut self, t: SimTime, svc_idx: usize) {
         let svc = &self.services[svc_idx];
+        let popcount = svc.changed_ases().iter().filter(|&&c| c).count() as u64;
+        let epoch = svc.catchment_epoch();
+        self.metrics.inc(keys::BGP_ROUTE_RECOMPUTES, 1);
+        self.metrics.inc(keys::BGP_CHANGED_ASES, popcount);
+        self.metrics
+            .observe(keys::CHANGED_AS_POPCOUNT, popcount as f64);
+        self.trace
+            .record_with(t, || TraceEventKind::CatchmentEpochBump {
+                service: svc.name.clone(),
+                epoch,
+                changed_ases: popcount,
+            });
         if let Some(letter) = svc.letter {
             if let Some(c) = self.collectors.get_mut(&letter) {
                 if self.cfg.reference_kernels {
@@ -262,6 +286,7 @@ impl<'a> SimWorld<'a> {
                 } else {
                     c.observe_changed(t, svc.rib(), svc.changed_ases());
                 }
+                self.metrics.inc(keys::BGP_COLLECTOR_UPDATES, 1);
             }
         }
     }

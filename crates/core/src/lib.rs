@@ -31,11 +31,13 @@ pub mod sim;
 pub use config::{ConfigError, ScenarioConfig};
 pub use deployment::{nl_deployment, nov2015_deployments, LetterDeployment};
 pub use engine::{
-    FaultKind, FaultPlan, FaultSpec, Instrumentation, NoopInstrumentation, RunStats, Subsystem,
+    render_metrics, FaultKind, FaultPlan, FaultSpec, Instrumentation, NoopInstrumentation,
+    Profiler, RunProfile, RunStats, Subsystem, TraceConfig, TraceEvent, TraceEventKind,
+    TraceSnapshot,
 };
 pub use error::RootcastError;
-pub use sim::{run, run_observed, SimOutput};
+pub use sim::{run, run_observed, run_profiled, SimOutput};
 
 // Re-export the vocabulary types users need to consume the outputs.
 pub use rootcast_dns::Letter;
-pub use rootcast_netsim::{BinnedSeries, Reduce, SimDuration, SimTime};
+pub use rootcast_netsim::{BinnedSeries, MetricsSnapshot, Reduce, SimDuration, SimTime};

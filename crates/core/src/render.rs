@@ -91,10 +91,13 @@ impl fmt::Display for TextTable {
     }
 }
 
-/// Format a float with limited precision, rendering NaN as "-".
+/// Format a float with limited precision. Non-finite values (NaN from
+/// an empty window, ±inf from a zero denominator) render as "–" so no
+/// table ever shows a literal `NaN`; the `Coverage` annotations say
+/// *why* a cell is undefined.
 pub fn num(v: f64, decimals: usize) -> String {
-    if v.is_nan() {
-        "-".to_string()
+    if !v.is_finite() {
+        "–".to_string()
     } else {
         format!("{v:.decimals$}")
     }
@@ -156,8 +159,10 @@ mod tests {
     }
 
     #[test]
-    fn num_handles_nan() {
-        assert_eq!(num(f64::NAN, 2), "-");
+    fn num_handles_non_finite() {
+        assert_eq!(num(f64::NAN, 2), "–");
+        assert_eq!(num(f64::INFINITY, 2), "–");
+        assert_eq!(num(f64::NEG_INFINITY, 2), "–");
         assert_eq!(num(1.23456, 2), "1.23");
     }
 

@@ -34,9 +34,11 @@
 //! thread count.
 
 use crate::deployment::{self, LetterDeployment};
+use crate::engine::metrics::keys;
 use crate::engine::{
-    drive, FaultInjector, FluidTraffic, Instrumentation, MaintenanceChurn, ProbeWheel,
-    ResolverRefresh, RssacAccounting, RunStats, SimWorld, StatsCollector, Subsystem,
+    drive, FaultInjector, FluidTraffic, Instrumentation, MaintenanceChurn, ProbeWheel, Profiler,
+    ResolverRefresh, RssacAccounting, RunProfile, RunStats, SimWorld, StatsCollector, Subsystem,
+    TraceSnapshot,
 };
 use crate::error::RootcastError;
 use rootcast_anycast::AnycastService;
@@ -44,7 +46,7 @@ use rootcast_atlas::{CleaningReport, MeasurementPipeline};
 use rootcast_attack::{AttackSchedule, Botnet};
 use rootcast_bgp::RouteCollector;
 use rootcast_dns::Letter;
-use rootcast_netsim::{BinnedSeries, SimDuration, SimRng, SimTime};
+use rootcast_netsim::{BinnedSeries, MetricsSnapshot, SimDuration, SimRng, SimTime};
 use rootcast_rssac::{DailyReport, RssacCollector};
 use rootcast_topology::gen;
 use std::collections::BTreeMap;
@@ -74,6 +76,12 @@ pub struct SimOutput {
     /// Engine instrumentation summary (tick counts, wall time, load
     /// extremes). Empty when the run used a custom observer.
     pub run_stats: RunStats,
+    /// Every engine metric, frozen at the end of the run (see
+    /// [`metrics::keys`](crate::engine::metrics::keys) for the catalog).
+    pub metrics: MetricsSnapshot,
+    /// The structured event trace (empty unless
+    /// [`ScenarioConfig::trace`] enabled it).
+    pub trace: TraceSnapshot,
 }
 
 /// Run the scenario to completion with the default stats-collecting
@@ -95,7 +103,9 @@ pub fn run_observed(
 ) -> Result<SimOutput, RootcastError> {
     cfg.validate()?;
     let rng_factory = SimRng::new(cfg.seed);
+    obs.on_phase_start("build_world");
     let mut world = SimWorld::build(cfg, &rng_factory, obs);
+    world.obs.on_phase_end("build_world");
 
     // Seeding order is the same-instant tie-break: accounting must
     // follow the fluid step whose window it settles, and faults apply
@@ -114,8 +124,39 @@ pub fn run_observed(
             cfg.faults.clone(),
         )),
     ];
+    world.obs.on_phase_start("drive");
     drive(&mut world, &mut subsystems, cfg.horizon);
+    world.obs.on_phase_end("drive");
+
+    world.obs.on_phase_start("finalize");
     world.pipeline.finalize();
+
+    // End-of-run metric settlement: stats accumulated inside the lower
+    // layers (pipeline outcomes, scratch-buffer reuse, fleet cleaning)
+    // are copied into the registry so the snapshot is the one place to
+    // look.
+    let outcomes = world.pipeline.outcome_stats();
+    world.metrics.inc(keys::PROBES_SITE, outcomes.site);
+    world.metrics.inc(keys::PROBES_TIMEOUT, outcomes.timeout);
+    world.metrics.inc(keys::PROBES_ERROR, outcomes.error);
+    world.metrics.inc(keys::PROBES_MISSED, outcomes.missed);
+    let kept = world.cleaning.kept_count();
+    world.metrics.set_gauge(keys::VPS_KEPT, kept as f64);
+    world
+        .metrics
+        .set_gauge(keys::VPS_DROPPED, (world.fleet.len() - kept) as f64);
+    let (reuses, allocs) = world.services.iter().fold((0, 0), |(r, a), svc| {
+        let (r2, a2) = svc.scratch_stats();
+        (r + r2, a + a2)
+    });
+    world.metrics.inc(keys::BGP_SCRATCH_REUSES, reuses);
+    world.metrics.inc(keys::BGP_SCRATCH_ALLOCS, allocs);
+    world
+        .metrics
+        .inc(keys::TRACE_EVENTS_DROPPED, world.trace.dropped_events());
+    let metrics = world.metrics.snapshot();
+    let trace = world.trace.snapshot();
+    world.obs.on_phase_end("finalize");
 
     let SimWorld {
         graph,
@@ -159,7 +200,67 @@ pub fn run_observed(
         probe_interval: cfg.probe_interval,
         a_probe_interval: cfg.a_probe_interval,
         run_stats: RunStats::default(),
+        metrics,
+        trace,
     })
+}
+
+/// Run the scenario with both the default stats collector and the
+/// [`Profiler`], returning the output alongside the finished
+/// [`RunProfile`] (phase/tick wall times, chrome://tracing export).
+/// Profiling is observation only: the output is bit-identical to
+/// [`run`]'s.
+pub fn run_profiled(cfg: &ScenarioConfig) -> Result<(SimOutput, RunProfile), RootcastError> {
+    /// Tee every hook into the stats collector and the profiler.
+    struct Tee {
+        stats: StatsCollector,
+        profiler: Profiler,
+    }
+
+    impl Instrumentation for Tee {
+        fn on_phase_start(&mut self, phase: &'static str) {
+            self.stats.on_phase_start(phase);
+            self.profiler.on_phase_start(phase);
+        }
+        fn on_phase_end(&mut self, phase: &'static str) {
+            self.stats.on_phase_end(phase);
+            self.profiler.on_phase_end(phase);
+        }
+        fn on_subsystem_tick(
+            &mut self,
+            subsystem: &'static str,
+            t: SimTime,
+            wall: std::time::Duration,
+        ) {
+            self.stats.on_subsystem_tick(subsystem, t, wall);
+            self.profiler.on_subsystem_tick(subsystem, t, wall);
+        }
+        fn on_letter_load(&mut self, t: SimTime, letter: Letter, offered: f64, served: f64) {
+            self.stats.on_letter_load(t, letter, offered, served);
+        }
+        fn on_queue_depth(&mut self, t: SimTime, letter: Letter, site: &str, delay: SimDuration) {
+            self.stats.on_queue_depth(t, letter, site, delay);
+        }
+        fn on_policy_transition(
+            &mut self,
+            t: SimTime,
+            letter: Letter,
+            changes: &rootcast_anycast::RoutingChanges,
+        ) {
+            self.stats.on_policy_transition(t, letter, changes);
+        }
+        fn on_fault(&mut self, t: SimTime, fault: &crate::engine::InjectedFault) {
+            self.stats.on_fault(t, fault);
+        }
+    }
+
+    let mut tee = Tee {
+        stats: StatsCollector::default(),
+        profiler: Profiler::default(),
+    };
+    let mut out = run_observed(cfg, &mut tee)?;
+    out.run_stats = tee.stats.finish();
+    Ok((out, tee.profiler.finish()))
 }
 
 /// Build the scenario's services and report, for each letter, the

@@ -19,7 +19,9 @@
 //! * [`series`] — fixed-width time-series bins matching the paper's
 //!   10-minute methodology ([`BinnedSeries`], [`SampleBins`]);
 //! * [`stats`] — medians, quantiles, OLS regression and a cardinality
-//!   sketch for unique-source counting.
+//!   sketch for unique-source counting;
+//! * [`metrics`] — counters, gauges, and fixed-bucket histograms behind
+//!   static handles ([`MetricsRegistry`], [`MetricsSnapshot`]).
 //!
 //! ## Design
 //!
@@ -30,6 +32,7 @@
 
 pub mod coverage;
 pub mod event;
+pub mod metrics;
 pub mod rate;
 pub mod rng;
 pub mod series;
@@ -38,6 +41,10 @@ pub mod time;
 
 pub use coverage::Coverage;
 pub use event::EventQueue;
+pub use metrics::{
+    CounterId, GaugeId, HistogramId, HistogramSnapshot, HistogramSpec, MetricsRegistry,
+    MetricsSnapshot,
+};
 pub use rand_chacha::ChaCha8Rng;
 pub use rate::{FluidQueue, RateSignal};
 pub use rng::SimRng;

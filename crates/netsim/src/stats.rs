@@ -21,7 +21,7 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(f64::total_cmp);
     if v.len() == 1 {
         return v[0];
     }

@@ -22,6 +22,30 @@ use rand::Rng;
 use rootcast_netsim::rng::weighted_index;
 use rootcast_netsim::SimRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A [`TopologyParams`] value the generator cannot honor. Returned by
+/// [`TopologyParams::validate`]; the scenario layer surfaces it as a
+/// typed `ConfigError` before any state is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A tier count is outside the generatable range (zero, or more
+    /// Tier-1s than distinct catalog cities to seat them in).
+    BadTierCount(String),
+    /// A continuous knob is non-finite or out of range.
+    BadKnob(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::BadTierCount(m) => write!(f, "bad tier count: {m}"),
+            TopologyError::BadKnob(m) => write!(f, "bad knob: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Generation parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,14 +86,54 @@ impl TopologyParams {
             peering_scale_km: 1500.0,
         }
     }
+
+    /// Check every invariant [`generate`] depends on. Each Tier-1 gets
+    /// its own catalog city (`ranked[i]` below), so `n_tier1` is capped
+    /// by the catalog size — beyond it the backbones would silently
+    /// collapse into shared cities and distort every catchment built on
+    /// top.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.n_tier1 < 1 {
+            return Err(TopologyError::BadTierCount(
+                "need at least one tier-1".into(),
+            ));
+        }
+        if self.n_tier2 < 1 {
+            return Err(TopologyError::BadTierCount(
+                "need at least one tier-2".into(),
+            ));
+        }
+        let n_cities = city_catalog().len();
+        if self.n_tier1 > n_cities {
+            return Err(TopologyError::BadTierCount(format!(
+                "{} tier-1 backbones but only {n_cities} catalog cities to seat them",
+                self.n_tier1
+            )));
+        }
+        if !self.stub_multihome_prob.is_finite() || !(0.0..=1.0).contains(&self.stub_multihome_prob)
+        {
+            return Err(TopologyError::BadKnob(format!(
+                "stub_multihome_prob must be a probability in [0, 1], got {}",
+                self.stub_multihome_prob
+            )));
+        }
+        if !self.peering_scale_km.is_finite() || self.peering_scale_km <= 0.0 {
+            return Err(TopologyError::BadKnob(format!(
+                "peering_scale_km must be finite and positive, got {}",
+                self.peering_scale_km
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Generate a topology from parameters and the scenario RNG.
 ///
 /// The returned graph always satisfies [`AsGraph::validate`].
 pub fn generate(params: &TopologyParams, rng_factory: &SimRng) -> AsGraph {
-    assert!(params.n_tier1 >= 1, "need at least one tier-1");
-    assert!(params.n_tier2 >= 1, "need at least one tier-2");
+    if let Err(e) = params.validate() {
+        panic!("invalid TopologyParams: {e} (validate up front to get a typed error)");
+    }
     let mut rng = rng_factory.stream("topology");
     let mut g = AsGraph::new();
     let cities = city_catalog();
@@ -78,14 +142,13 @@ pub fn generate(params: &TopologyParams, rng_factory: &SimRng) -> AsGraph {
     // Tier-1 backbones live in the highest-weight cities, spread out: pick
     // the top cities by weight, one per index order.
     let mut ranked: Vec<usize> = (0..cities.len()).collect();
-    ranked.sort_by(|&a, &b| {
-        weights[b]
-            .partial_cmp(&weights[a])
-            .expect("finite weights")
-            .then(a.cmp(&b))
-    });
+    // total_cmp: a NaN weight sorts last instead of panicking (and
+    // validate() has already rejected knobs that could produce one).
+    ranked.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+    // validate() guarantees n_tier1 <= catalog size, so every backbone
+    // gets a distinct city — no silent modulo collapse.
     let tier1: Vec<AsId> = (0..params.n_tier1)
-        .map(|i| g.add_node(Tier::Tier1, CityId(ranked[i % ranked.len()] as u16)))
+        .map(|i| g.add_node(Tier::Tier1, CityId(ranked[i] as u16)))
         .collect();
     // Full peer mesh among Tier-1s (transit-free core).
     for i in 0..tier1.len() {
@@ -203,6 +266,44 @@ fn proximity_weight(g: &AsGraph, c: AsId, p: AsId) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn params_validation_rejects_bad_knobs() {
+        assert_eq!(TopologyParams::default().validate(), Ok(()));
+        assert_eq!(TopologyParams::tiny().validate(), Ok(()));
+
+        let mut p = TopologyParams::tiny();
+        p.n_tier1 = 0;
+        assert!(matches!(p.validate(), Err(TopologyError::BadTierCount(_))));
+
+        let mut p = TopologyParams::tiny();
+        p.n_tier2 = 0;
+        assert!(matches!(p.validate(), Err(TopologyError::BadTierCount(_))));
+
+        // More Tier-1s than catalog cities would silently collapse
+        // backbones into shared cities under the old modulo indexing.
+        let mut p = TopologyParams::tiny();
+        p.n_tier1 = city_catalog().len() + 1;
+        assert!(matches!(p.validate(), Err(TopologyError::BadTierCount(_))));
+
+        let mut p = TopologyParams::tiny();
+        p.stub_multihome_prob = f64::NAN;
+        assert!(matches!(p.validate(), Err(TopologyError::BadKnob(_))));
+
+        let mut p = TopologyParams::tiny();
+        p.peering_scale_km = 0.0;
+        assert!(matches!(p.validate(), Err(TopologyError::BadKnob(_))));
+    }
+
+    #[test]
+    fn tier1_cities_are_distinct() {
+        let g = generate(&TopologyParams::default(), &SimRng::new(9));
+        let t1 = g.by_tier(Tier::Tier1);
+        let mut cities: Vec<_> = t1.iter().map(|&a| g.node(a).city).collect();
+        cities.sort();
+        cities.dedup();
+        assert_eq!(cities.len(), t1.len(), "tier-1 backbones share a city");
+    }
 
     #[test]
     fn generated_graph_validates() {

@@ -21,6 +21,6 @@ pub mod gen;
 pub mod geo;
 pub mod graph;
 
-pub use gen::{generate, TopologyParams};
+pub use gen::{generate, TopologyError, TopologyParams};
 pub use geo::{city, city_by_code, city_catalog, City, CityId, Region};
 pub use graph::{Adjacency, AsGraph, AsId, AsNode, Relation, Tier};

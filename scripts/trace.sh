@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Export and validate a chrome://tracing profile of the small scenario.
+#
+# Runs the `trace_export` example (tracing enabled, profiler attached),
+# then validates the emitted trace-event JSON:
+#   1. it parses as a JSON array of objects,
+#   2. timestamps are monotonically non-decreasing (chrome://tracing
+#      requires sorted events),
+#   3. every duration ("B") begin has a matching end ("E") with the same
+#      name, and "X" complete events carry a non-negative `dur`.
+#
+# Usage: scripts/trace.sh [output.json]   (from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-trace_events.json}
+
+cargo run --release -q --example trace_export -- --small --out "$OUT"
+
+echo "validating $OUT ..."
+
+# 1. Parses as a non-empty array of objects.
+jq -e 'type == "array" and length > 0 and all(.[]; type == "object")' \
+    "$OUT" > /dev/null || { echo "FAIL: not a JSON array of objects" >&2; exit 1; }
+
+# 2. Timestamps sorted ascending.
+jq -e '[.[].ts] as $ts | $ts == ($ts | sort)' "$OUT" > /dev/null \
+    || { echo "FAIL: timestamps not monotonically non-decreasing" >&2; exit 1; }
+
+# 3. Balanced B/E pairs and well-formed X events.
+jq -e '([.[] | select(.ph == "B") | .name] | sort) ==
+       ([.[] | select(.ph == "E") | .name] | sort)' "$OUT" > /dev/null \
+    || { echo "FAIL: unbalanced B/E phase events" >&2; exit 1; }
+jq -e 'all(.[] | select(.ph == "X"); .dur >= 0 and (.args.sim_time_s != null))' \
+    "$OUT" > /dev/null \
+    || { echo "FAIL: malformed X (complete) events" >&2; exit 1; }
+
+n_events=$(jq 'length' "$OUT")
+n_ticks=$(jq '[.[] | select(.ph == "X")] | length' "$OUT")
+echo "ok: $n_events events ($n_ticks subsystem ticks), sorted and balanced"
+echo "open $OUT at chrome://tracing or https://ui.perfetto.dev"

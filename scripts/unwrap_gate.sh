@@ -14,6 +14,10 @@ declare -A BASELINE=(
   [crates/atlas/src]=0
   [crates/rssac/src]=0
   [crates/core/src/analysis]=0
+  [crates/topology/src]=0
+  [crates/attack/src]=0
+  [crates/bgp/src]=0
+  [crates/anycast/src]=0
 )
 
 status=0

@@ -120,6 +120,54 @@ fn cached_kernels_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn tracing_is_a_pure_observer() {
+    // The observability layer must never change outputs: a run with the
+    // event trace enabled is bit-identical (in everything the analysis
+    // layer consumes) to the same scenario with tracing disabled, and
+    // to a profiled run. Only the trace/profile artifacts may differ.
+    let cfg = ScenarioConfig::small();
+    let dark = run(&cfg).expect("valid scenario");
+    assert!(!dark.trace.enabled, "trace is off by default");
+    assert!(dark.trace.events.is_empty(), "disabled trace stays empty");
+
+    let mut traced_cfg = cfg.clone();
+    traced_cfg.trace.enabled = true;
+    traced_cfg.trace.capacity = 16_384;
+    let traced = run(&traced_cfg).expect("valid scenario");
+    assert!(traced.trace.enabled);
+    assert!(
+        !traced.trace.events.is_empty(),
+        "the small scenario produces policy transitions and epoch bumps"
+    );
+    assert_eq!(
+        summarize(&dark),
+        summarize(&traced),
+        "enabling the event trace changed simulation output"
+    );
+
+    let (profiled, profile) = rootcast::run_profiled(&cfg).expect("valid scenario");
+    assert_eq!(
+        summarize(&dark),
+        summarize(&profiled),
+        "profiling changed simulation output"
+    );
+    assert!(
+        !profile.phases.is_empty() && !profile.ticks.is_empty(),
+        "the profiler saw phases and subsystem ticks"
+    );
+
+    // Metrics are also observation-only and identical either way.
+    assert_eq!(
+        dark.metrics.counter("fluid.windows"),
+        traced.metrics.counter("fluid.windows")
+    );
+    assert_eq!(
+        dark.metrics.counter("fluid.policy_transitions"),
+        traced.metrics.counter("fluid.policy_transitions")
+    );
+}
+
+#[test]
 fn fault_runs_are_bit_identical_across_thread_counts() {
     // Same property with every fault kind in play: the injector draws
     // from its own RNG stream on the single-threaded engine loop, so
