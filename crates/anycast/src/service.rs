@@ -348,6 +348,38 @@ impl AnycastService {
         changes
     }
 
+    /// Apply a [`SiteTuning`] to one site, rebuilding its ingress queue
+    /// from the new spec so the result is state-identical to a service
+    /// freshly built with the tuned spec. Only valid on a pristine
+    /// (never-advanced) service: the queue is replaced, so any
+    /// accumulated backlog would be silently dropped. The substrate
+    /// sharing path calls this right after cloning the baseline
+    /// services, before the first fluid step.
+    ///
+    /// The tuning deliberately cannot touch routing-relevant fields
+    /// (host AS, scope, prepend, server count, announcement): the RIB
+    /// and the `t = 0` calibration probes stay valid by construction.
+    pub fn retune_site(&mut self, idx: SiteIdx, tuning: &crate::site::SiteTuning) {
+        let site = &mut self.sites[idx];
+        debug_assert!(
+            site.offered_qps == 0.0 && site.announced && site.reannounce_at.is_none(),
+            "{}: retune_site on a non-pristine site {}",
+            self.name,
+            site.spec.code
+        );
+        if let Some(cap) = tuning.capacity_qps {
+            site.spec.capacity_qps = cap;
+        }
+        if let Some(buf) = tuning.buffer_queries {
+            site.spec.buffer_queries = buf;
+        }
+        if let Some(p) = tuning.stress_policy {
+            site.spec.stress_policy = p;
+        }
+        site.queue =
+            rootcast_netsim::FluidQueue::new(site.spec.capacity_qps, site.spec.buffer_queries);
+    }
+
     /// Force a site's announcement state (operator action); recomputes
     /// routing if it changed.
     pub fn set_announced(&mut self, idx: SiteIdx, announced: bool, graph: &AsGraph) -> bool {

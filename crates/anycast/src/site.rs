@@ -39,6 +39,50 @@ pub struct SiteSpec {
     pub facility: Option<FacilityId>,
 }
 
+/// Non-routing tuning knobs for one deployed site: serving capacity,
+/// ingress buffer depth, and the stress policy. These are exactly the
+/// fields a scenario may override *after* the expensive substrate
+/// (topology + RIB + probe calibration) is built: none of them feeds
+/// the RIB (which depends only on host AS / scope / prepend /
+/// announcement) or a calibration probe at `t = 0` (empty queues, no
+/// overload episodes). Routing-relevant fields are deliberately not
+/// here — changing them would invalidate a shared substrate.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SiteTuning {
+    /// Replace the aggregate serving capacity, q/s.
+    pub capacity_qps: Option<f64>,
+    /// Replace the ingress buffer depth, queries.
+    pub buffer_queries: Option<f64>,
+    /// Replace the stress policy.
+    pub stress_policy: Option<StressPolicy>,
+}
+
+impl SiteTuning {
+    /// No-op tuning (all fields `None`).
+    pub fn none() -> SiteTuning {
+        SiteTuning::default()
+    }
+
+    pub fn with_capacity(mut self, qps: f64) -> SiteTuning {
+        self.capacity_qps = Some(qps);
+        self
+    }
+
+    pub fn with_buffer(mut self, queries: f64) -> SiteTuning {
+        self.buffer_queries = Some(queries);
+        self
+    }
+
+    pub fn with_policy(mut self, p: StressPolicy) -> SiteTuning {
+        self.stress_policy = Some(p);
+        self
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.capacity_qps.is_none() && self.buffer_queries.is_none() && self.stress_policy.is_none()
+    }
+}
+
 impl SiteSpec {
     /// A plain global site with sensible defaults: 3 servers, 2-minute
     /// buffer at capacity (heavy bufferbloat), absorb policy.

@@ -12,7 +12,7 @@ use rand::Rng;
 use rootcast_netsim::rng::weighted_index;
 use rootcast_netsim::stats::mix64;
 use rootcast_netsim::SimRng;
-use rootcast_topology::{city, AsGraph, AsId, Region, Tier};
+use rootcast_topology::{city, AsGraph, AsId, NamedFn, Region, Tier};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a vantage point (index into the fleet).
@@ -61,13 +61,14 @@ pub struct FleetParams {
     /// Fraction of flaky VPs that fail independently now and then.
     pub flaky_fraction: f64,
     /// Regional placement bias. RIPE Atlas is Europe-heavy; the default
-    /// puts ~2/3 of VPs in Europe.
-    pub region_bias: fn(Region) -> f64,
+    /// puts ~2/3 of VPs in Europe. Named so the config's `Debug` form
+    /// (and every hash built from it) is stable across processes.
+    pub region_bias: NamedFn<fn(Region) -> f64>,
     /// Per-metro probe-density multiplier on top of the regional bias.
     /// Atlas is operated from Amsterdam and its probe density peaks in
     /// the Benelux/DE/UK corridor — the reason the paper's largest
     /// site medians are AMS, FRA and LHR.
-    pub city_bias: fn(&str) -> f64,
+    pub city_bias: NamedFn<fn(&str) -> f64>,
 }
 
 fn atlas_city_bias(code: &str) -> f64 {
@@ -99,8 +100,8 @@ impl Default for FleetParams {
             old_firmware_fraction: 0.03,
             hijacked_fraction: 74.0 / 9363.0,
             flaky_fraction: 0.05,
-            region_bias: atlas_region_bias,
-            city_bias: atlas_city_bias,
+            region_bias: NamedFn::new("atlas", atlas_region_bias),
+            city_bias: NamedFn::new("atlas", atlas_city_bias),
         }
     }
 }
@@ -132,8 +133,8 @@ impl VpFleet {
             .iter()
             .map(|&s| {
                 let c = city(graph.node(s).city);
-                (params.region_bias)(c.region)
-                    * (params.city_bias)(c.code)
+                (params.region_bias.f)(c.region)
+                    * (params.city_bias.f)(c.code)
                     * c.population_weight.max(0.01)
             })
             .collect();

@@ -15,12 +15,12 @@ use rand::Rng;
 use rootcast_netsim::rng::weighted_index;
 use rootcast_netsim::stats::mix64;
 use rootcast_netsim::SimRng;
-use rootcast_topology::{city, AsGraph, Region, Tier};
+use rootcast_topology::{city, AsGraph, NamedFn, Region, Tier};
 
 /// Botnet construction parameters.
 ///
-/// (Not serde-serializable: the regional bias is a plain function
-/// pointer so scenarios can plug arbitrary shapes.)
+/// (Not serde-serializable: the regional bias is a function pointer so
+/// scenarios can plug arbitrary shapes.)
 #[derive(Debug, Clone)]
 pub struct BotnetParams {
     /// Number of member (true-origin) stub ASes.
@@ -32,7 +32,9 @@ pub struct BotnetParams {
     /// Regional mix of members: weight multiplier per region. A botnet
     /// concentrated in Asia stresses different catchments than a European
     /// one; the default skews Asia/NA the way large 2015-era botnets did.
-    pub region_bias: fn(Region) -> f64,
+    /// Named so the config's `Debug` form (and every hash built from
+    /// it) is stable across processes.
+    pub region_bias: NamedFn<fn(Region) -> f64>,
 }
 
 fn default_region_bias(r: Region) -> f64 {
@@ -53,7 +55,7 @@ impl Default for BotnetParams {
             n_members: 400,
             heavy_share: 0.68,
             n_heavy_sources: 200,
-            region_bias: default_region_bias,
+            region_bias: NamedFn::new("nov2015", default_region_bias),
         }
     }
 }
@@ -85,7 +87,7 @@ impl Botnet {
             .iter()
             .map(|&s| {
                 let c = city(graph.node(s).city);
-                (params.region_bias)(c.region) * c.population_weight.max(0.01)
+                (params.region_bias.f)(c.region) * c.population_weight.max(0.01)
             })
             .collect();
         let mut weights = vec![0.0f64; graph.len()];

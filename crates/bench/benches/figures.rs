@@ -103,13 +103,15 @@ fn bench_figures(c: &mut Criterion) {
 
     c.bench_function("fig11_vp_raster", |b| {
         b.iter(|| {
-            let f = raster::figure11(out, Letter::K, &["LHR", "FRA"], 300);
+            let f = raster::figure11(out, Letter::K, &["LHR", "FRA"], 300).expect("K is rastered");
             black_box(f.cohort_counts())
         })
     });
     println!(
         "{}",
-        raster::figure11(out, Letter::K, &["LHR", "FRA"], 300).render_cohorts()
+        raster::figure11(out, Letter::K, &["LHR", "FRA"], 300)
+            .expect("K is rastered")
+            .render_cohorts()
     );
 
     c.bench_function("fig12_13_servers", |b| {

@@ -201,7 +201,7 @@ fn bench_fluid_tick(c: &mut Criterion) {
     let cfg = ScenarioConfig::small();
     let rngf = SimRng::new(cfg.seed);
     let mut obs = NoopInstrumentation;
-    let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+    let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
     let mut fluid = FluidTraffic::new(cfg.fluid_step);
     let mut t = SimTime::ZERO;
     c.bench_function("fluid_tick", |b| {

@@ -1,0 +1,76 @@
+//! Sweep-engine throughput: the same scenario grid executed over one
+//! shared substrate versus a naive per-run rebuild. The gap is the
+//! payoff of hoisting topology generation and baseline BGP convergence
+//! out of the per-run loop — the sweep acceptance bar is >= 1.5x.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rootcast::{
+    run_sweep, run_sweep_with, ConfigPatch, Letter, ScenarioConfig, SimTime, SiteOverride,
+    SiteTuning, SweepAxis, SweepOptions, SweepPlan,
+};
+use std::hint::black_box;
+
+/// A 2x2 grid on a short horizon over an enlarged topology: substrate
+/// construction (topology + baseline RIBs + fleet calibration)
+/// dominates each run, which is the regime real sweeps live in — many
+/// cheap variants of one expensive world.
+fn plan() -> SweepPlan {
+    let mut base = ScenarioConfig::small();
+    base.topology.n_tier2 = 60;
+    base.topology.n_stub = 1200;
+    base.horizon = SimTime::from_mins(20);
+    base.pipeline.horizon = base.horizon;
+    SweepPlan::grid(
+        "bench",
+        base,
+        &[
+            SweepAxis::new(
+                "legit",
+                vec![
+                    ("base", ConfigPatch::none()),
+                    ("low", ConfigPatch::none().with_legit_total_qps(200_000.0)),
+                ],
+            ),
+            SweepAxis::new(
+                "klhr",
+                vec![
+                    ("base", ConfigPatch::none()),
+                    (
+                        "thin",
+                        ConfigPatch::none().with_site_override(SiteOverride::new(
+                            Letter::K,
+                            "LHR",
+                            SiteTuning::none().with_capacity(20_000.0),
+                        )),
+                    ),
+                ],
+            ),
+        ],
+    )
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_grid");
+    g.sample_size(10);
+    let plan = plan();
+    g.bench_with_input(
+        BenchmarkId::new("shared", plan.runs.len()),
+        &plan,
+        |b, p| b.iter(|| black_box(run_sweep(p).expect("valid sweep"))),
+    );
+    g.bench_with_input(
+        BenchmarkId::new("naive_rebuild", plan.runs.len()),
+        &plan,
+        |b, p| {
+            let opts = SweepOptions {
+                no_substrate_reuse: true,
+                ..SweepOptions::default()
+            };
+            b.iter(|| black_box(run_sweep_with(p, &opts).expect("valid sweep")))
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(sweep, bench_sweep);
+criterion_main!(sweep);

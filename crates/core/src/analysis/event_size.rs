@@ -45,11 +45,21 @@ pub struct Table3Row {
 }
 
 /// Aggregate bounds for one event day.
+///
+/// A fault-gapped run can leave an event day with *no* reporting
+/// attacked letters. The day still gets a `DayBounds` — dropping it
+/// would silently shrink the table — but a degraded one, flagged by
+/// `n_reporting == 0`: the lower bound is a true 0.0 (nothing was
+/// observed), while the scaled and upper estimates are undefined (NaN,
+/// rendered as "–").
 #[derive(Debug, Clone, Serialize)]
 pub struct DayBounds {
     pub day: usize,
     /// Event duration in seconds.
     pub event_secs: f64,
+    /// How many attacked letters actually reported this day. 0 marks a
+    /// degraded row whose estimates are partial or undefined.
+    pub n_reporting: usize,
     /// Sum over reporting attacked letters.
     pub lower_mqps: f64,
     pub lower_gbps: f64,
@@ -60,6 +70,14 @@ pub struct DayBounds {
     pub upper_mqps: f64,
     pub upper_gbps: f64,
     pub upper_resp_gbps: f64,
+}
+
+impl DayBounds {
+    /// True when monitoring gaps left estimates partial or undefined
+    /// (fewer reporting letters than attacked letters).
+    pub fn is_degraded(&self, n_attacked: usize) -> bool {
+        self.n_reporting < n_attacked
+    }
 }
 
 #[derive(Debug, Clone, Serialize)]
@@ -151,12 +169,16 @@ pub fn table3(out: &SimOutput) -> Table3 {
         }
         let day_rows: Vec<&Table3Row> =
             rows.iter().filter(|r| r.day == day && r.attacked).collect();
-        if day_rows.is_empty() {
-            continue;
-        }
         let lower_mqps: f64 = day_rows.iter().map(|r| r.dq_mqps).sum();
         let lower_gbps: f64 = day_rows.iter().map(|r| r.dq_gbps).sum();
-        let scale = n_attacked as f64 / day_rows.len() as f64;
+        // No reporting letters at all (every record fault-gapped out):
+        // keep the day, with the scaled estimate undefined rather than
+        // lower × ∞.
+        let scale = if day_rows.is_empty() {
+            f64::NAN
+        } else {
+            n_attacked as f64 / day_rows.len() as f64
+        };
         let a_row = day_rows.iter().find(|r| r.letter == Letter::A);
         let (upper_mqps, upper_gbps, upper_resp_gbps) = match a_row {
             Some(a) => (
@@ -169,6 +191,7 @@ pub fn table3(out: &SimOutput) -> Table3 {
         bounds.push(DayBounds {
             day,
             event_secs: day_secs,
+            n_reporting: day_rows.len(),
             lower_mqps,
             lower_gbps,
             scaled_mqps: lower_mqps * scale,
@@ -240,7 +263,9 @@ impl Table3 {
                 "".into(),
                 "".into(),
                 "".into(),
-                "".into(),
+                // Which fraction of attacked letters this day's
+                // estimates rest on — 0/N flags a degraded day.
+                format!("{}/{}", b.n_reporting, self.n_attacked),
             ]);
             t.row(vec![
                 "scaled".into(),
@@ -312,6 +337,10 @@ mod tests {
         let t3 = table3(smoke());
         assert!(!t3.bounds.is_empty());
         for b in &t3.bounds {
+            // The smoke run has no monitoring gaps: every day has at
+            // least one reporting attacked letter and finite bounds.
+            assert!(b.n_reporting > 0);
+            assert!(b.scaled_mqps.is_finite());
             assert!(b.lower_mqps <= b.scaled_mqps + 1e-9);
             assert!(
                 b.scaled_mqps <= b.upper_mqps * 1.001,

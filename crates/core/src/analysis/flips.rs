@@ -147,12 +147,15 @@ pub fn figure10(out: &SimOutput, letter: Letter, site_code: &str) -> FlowTable {
 }
 
 impl FlowTable {
-    /// Fraction of event-time outflow going to `dest`.
+    /// Fraction of event-time outflow going to `dest`. A run with no
+    /// outflow at all (no attack, or the site's catchment never moved)
+    /// sends no share anywhere: 0.0, not 0/0 = NaN — callers feed this
+    /// straight into rendered cells and CSV.
     pub fn outflow_share(&self, dest: &str) -> f64 {
         let dest = dest.to_ascii_uppercase();
         let total: u64 = self.outflow_during.values().sum();
         if total == 0 {
-            return f64::NAN;
+            return 0.0;
         }
         *self.outflow_during.get(&dest).unwrap_or(&0) as f64 / total as f64
     }
@@ -216,11 +219,23 @@ mod tests {
         assert!(total > 0, "no outflow from K-LHR during events");
         // AMS should be a major destination (the paper: 70-80%).
         let ams = flow.outflow_share("AMS");
-        assert!(
-            ams.is_nan() || ams >= 0.0,
-            "share must be well-defined: {ams}"
-        );
+        assert!(ams.is_finite() && ams >= 0.0, "share must be finite: {ams}");
         assert!(flow.render().to_string().contains("Figure 10"));
+    }
+
+    #[test]
+    fn outflow_share_of_quiet_site_is_zero_not_nan() {
+        // A site that never shed a VP during the events has no outflow
+        // to apportion: every share is 0.0. The old 0/0 path returned
+        // NaN, which leaked into Figure 10 CSV exports.
+        let flow = FlowTable {
+            letter: Letter::K,
+            site: "LHR".into(),
+            outflow_during: BTreeMap::new(),
+            inflow_after: BTreeMap::new(),
+        };
+        let share = flow.outflow_share("AMS");
+        assert_eq!(share, 0.0, "empty outflow must yield 0.0, got {share}");
     }
 
     #[test]

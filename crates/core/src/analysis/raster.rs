@@ -8,6 +8,7 @@
 //! event and return, (3) VPs that scatter to other sites, and (4) VPs
 //! that flip and stay.
 
+use crate::error::{AnalysisError, RootcastError};
 use crate::render::TextTable;
 use crate::sim::SimOutput;
 use rootcast_atlas::raster_code;
@@ -49,12 +50,25 @@ pub struct Figure11 {
 
 /// Build the raster for VPs that start at any of `start_codes`.
 /// `max_vps` bounds the sample (the paper uses 300).
-pub fn figure11(out: &SimOutput, letter: Letter, start_codes: &[&str], max_vps: usize) -> Figure11 {
+///
+/// Per-VP timelines exist only for the letters listed in
+/// `PipelineConfig::raster_letters`; asking for any other letter is a
+/// typed [`AnalysisError::LetterNotRastered`], not a panic — a caller
+/// sweeping figures over a reconfigured run can skip or report it.
+pub fn figure11(
+    out: &SimOutput,
+    letter: Letter,
+    start_codes: &[&str],
+    max_vps: usize,
+) -> Result<Figure11, RootcastError> {
     let data = out.pipeline.letter(letter);
-    let raster = data
-        .raster
-        .as_ref()
-        .expect("letter must be in PipelineConfig::raster_letters");
+    let Some(raster) = data.raster.as_ref() else {
+        return Err(AnalysisError::LetterNotRastered {
+            letter,
+            available: out.pipeline.config().raster_letters.clone(),
+        }
+        .into());
+    };
     let focal: Vec<u8> = data
         .site_codes
         .iter()
@@ -93,12 +107,12 @@ pub fn figure11(out: &SimOutput, letter: Letter, start_codes: &[&str], max_vps: 
             )
         })
         .unwrap_or((0, 0));
-    Figure11 {
+    Ok(Figure11 {
         letter,
         site_codes: data.site_codes.clone(),
         rows,
         event_slots: (e_start, e_end),
-    }
+    })
 }
 
 impl Figure11 {
@@ -210,7 +224,23 @@ mod tests {
     use crate::analysis::fixture::smoke;
 
     fn fig() -> Figure11 {
-        figure11(smoke(), Letter::K, &["LHR", "FRA"], 300)
+        figure11(smoke(), Letter::K, &["LHR", "FRA"], 300).expect("K is rastered")
+    }
+
+    #[test]
+    fn unrastered_letter_is_a_typed_error_not_a_panic() {
+        // The smoke pipeline rasters only K; asking for M must name
+        // the letter and what *is* available.
+        match figure11(smoke(), Letter::M, &["LHR"], 300) {
+            Err(RootcastError::Analysis(AnalysisError::LetterNotRastered {
+                letter,
+                available,
+            })) => {
+                assert_eq!(letter, Letter::M);
+                assert_eq!(available, vec![Letter::K]);
+            }
+            other => panic!("expected LetterNotRastered, got {other:?}"),
+        }
     }
 
     #[test]

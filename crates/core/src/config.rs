@@ -6,7 +6,7 @@ use crate::engine::faults::{FaultKind, FaultPlan};
 use crate::engine::trace::TraceConfig;
 use rootcast_atlas::{FleetParams, PipelineConfig};
 use rootcast_attack::{AttackSchedule, BotnetParams, DEFAULT_LEGIT_TOTAL_QPS};
-use rootcast_dns::Name;
+use rootcast_dns::{Letter, Name};
 use rootcast_netsim::{SimDuration, SimTime};
 use rootcast_topology::TopologyParams;
 use std::fmt;
@@ -32,6 +32,8 @@ pub enum ConfigError {
     BadTopology(String),
     /// The trace configuration is unusable.
     BadTrace(String),
+    /// A site override names an unknown site or carries a bad value.
+    BadOverride(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -44,6 +46,7 @@ impl fmt::Display for ConfigError {
             ConfigError::BadFault(m) => write!(f, "bad fault spec: {m}"),
             ConfigError::BadTopology(m) => write!(f, "bad topology: {m}"),
             ConfigError::BadTrace(m) => write!(f, "bad trace config: {m}"),
+            ConfigError::BadOverride(m) => write!(f, "bad site override: {m}"),
         }
     }
 }
@@ -58,6 +61,31 @@ fn check_fraction(name: &str, v: f64) -> Result<(), ConfigError> {
         )));
     }
     Ok(())
+}
+
+/// A per-run override of one deployed site's non-routing knobs
+/// (capacity, buffer depth, stress policy), addressed by letter and
+/// airport code. Applied after the shared substrate is cloned, so
+/// sweeps can vary these without rebuilding topology, RIBs, or the
+/// calibrated fleet — see
+/// [`SiteTuning`](rootcast_anycast::SiteTuning) for why exactly these
+/// fields are substrate-safe.
+#[derive(Debug, Clone)]
+pub struct SiteOverride {
+    pub letter: Letter,
+    /// Airport code of the site within the letter's deployment (`LHR`).
+    pub site: String,
+    pub tuning: rootcast_anycast::SiteTuning,
+}
+
+impl SiteOverride {
+    pub fn new(letter: Letter, site: &str, tuning: rootcast_anycast::SiteTuning) -> SiteOverride {
+        SiteOverride {
+            letter,
+            site: site.to_ascii_uppercase(),
+            tuning,
+        }
+    }
 }
 
 /// Full scenario configuration.
@@ -95,6 +123,12 @@ pub struct ScenarioConfig {
     /// Scheduled fault injection (empty by default: no faults, and the
     /// run is bit-identical to one without the injector subsystem).
     pub faults: FaultPlan,
+    /// Per-run overrides of deployed sites' non-routing knobs
+    /// (capacity / buffer / stress policy), applied after the substrate
+    /// is built. Empty by default. These do not enter
+    /// [`Self::substrate_key`]: two configs differing only here can
+    /// share one substrate.
+    pub site_overrides: Vec<SiteOverride>,
     /// Run the hot paths through their reference implementations instead
     /// of the cached/fused kernels: catchment indices are invalidated
     /// every tick, probes take the string round-trip path, and collectors
@@ -137,6 +171,7 @@ impl ScenarioConfig {
             include_nl: true,
             nl_qps: 80_000.0,
             faults: FaultPlan::none(),
+            site_overrides: Vec::new(),
             reference_kernels: false,
             trace: TraceConfig::default(),
         }
@@ -158,6 +193,30 @@ impl ScenarioConfig {
         cfg.pipeline.horizon = cfg.horizon;
         cfg.pipeline.rtt_subsample = 2;
         cfg
+    }
+
+    /// Digest of exactly the knobs the expensive immutable substrate
+    /// (topology, deployments, baseline RIBs, botnet, fleet,
+    /// calibration) is a function of: seed, topology, fleet, botnet,
+    /// and `.nl` inclusion. Two configs with equal keys can share one
+    /// [`Substrate`](crate::engine::Substrate); everything else
+    /// (attack, faults, policies, capacities, rates, cadences) is
+    /// applied per run. The sweep runner shards its runs by this key.
+    ///
+    /// FNV-1a over the `Debug` rendering of those fields — Rust's f64
+    /// `Debug` is shortest-roundtrip, so distinct values never collide
+    /// through formatting.
+    pub fn substrate_key(&self) -> u64 {
+        let repr = format!(
+            "seed={};topology={:?};fleet={:?};botnet={:?};nl={}",
+            self.seed, self.topology, self.fleet, self.botnet, self.include_nl
+        );
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in repr.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
     }
 
     /// Check every invariant a run depends on. Called by
@@ -254,6 +313,30 @@ impl ScenarioConfig {
                 return Err(ConfigError::BadAttack(
                     "window duration must be positive".into(),
                 ));
+            }
+        }
+        for ov in &self.site_overrides {
+            if ov.site.is_empty() {
+                return Err(ConfigError::BadOverride(format!(
+                    "{}: empty site code",
+                    ov.letter
+                )));
+            }
+            if let Some(cap) = ov.tuning.capacity_qps {
+                if !cap.is_finite() || cap <= 0.0 {
+                    return Err(ConfigError::BadOverride(format!(
+                        "{}-{}: capacity must be finite and positive, got {cap}",
+                        ov.letter, ov.site
+                    )));
+                }
+            }
+            if let Some(buf) = ov.tuning.buffer_queries {
+                if !buf.is_finite() || buf < 0.0 {
+                    return Err(ConfigError::BadOverride(format!(
+                        "{}-{}: buffer must be finite and non-negative, got {buf}",
+                        ov.letter, ov.site
+                    )));
+                }
             }
         }
         for spec in &self.faults.faults {

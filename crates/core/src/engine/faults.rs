@@ -445,7 +445,7 @@ mod tests {
         rngf: &'a SimRng,
         obs: &'a mut dyn crate::engine::Instrumentation,
     ) -> SimWorld<'a> {
-        SimWorld::build(cfg, rngf, obs)
+        SimWorld::build(cfg, rngf, obs).expect("world builds")
     }
 
     #[test]

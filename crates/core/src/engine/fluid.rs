@@ -322,7 +322,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(cfg.seed);
         let mut obs = NoopInstrumentation;
-        let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
         let mut fluid = FluidTraffic::new(cfg.fluid_step);
 
         let t = SimTime::ZERO + cfg.fluid_step;
@@ -351,7 +351,7 @@ mod tests {
         let rngf = SimRng::new(cfg.seed);
         let run = |reference: bool| {
             let mut obs = NoopInstrumentation;
-            let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+            let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
             let mut fluid = FluidTraffic::new(cfg.fluid_step).with_reference(reference);
             let mut t = SimTime::ZERO;
             for _ in 0..5 {
@@ -380,7 +380,7 @@ mod tests {
                 .expect("pool");
             pool.install(|| {
                 let mut obs = NoopInstrumentation;
-                let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+                let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
                 let mut fluid = FluidTraffic::new(cfg.fluid_step);
                 fluid.tick(&mut world, SimTime::ZERO + cfg.fluid_step);
                 world.fluid.offered.clone()

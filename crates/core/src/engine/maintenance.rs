@@ -130,7 +130,7 @@ mod tests {
         rngf: &SimRng,
     ) -> (Vec<(SimTime, usize, SiteIdx)>, Vec<SimTime>) {
         let mut obs = NoopInstrumentation;
-        let mut world = SimWorld::build(cfg, rngf, &mut obs);
+        let mut world = SimWorld::build(cfg, rngf, &mut obs).expect("world builds");
         let mut churn = MaintenanceChurn::new(rngf.stream("maintenance"), cfg.maintenance_mean);
         let mut schedule = Vec::new();
         let mut t = churn.initial_wakeups()[0];
@@ -152,7 +152,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(cfg.seed);
         let mut obs = NoopInstrumentation;
-        let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
         let mut churn = MaintenanceChurn::new(rngf.stream("maintenance"), cfg.maintenance_mean);
 
         // Tick the churn schedule until a withdrawal happens.

@@ -50,7 +50,7 @@ pub use profile::{PhaseSpan, Profiler, RunProfile, SubsystemProfile, TickSpan};
 pub use resolvers::ResolverRefresh;
 pub use rssac::RssacAccounting;
 pub use trace::{EventTrace, TraceConfig, TraceEvent, TraceEventKind, TraceSnapshot};
-pub use world::{FluidScratch, SimWorld};
+pub use world::{FluidScratch, SimWorld, Substrate};
 
 use rootcast_netsim::{EventQueue, SimTime};
 use std::time::Instant;
@@ -150,7 +150,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(1);
         let mut obs = NoopInstrumentation;
-        let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
 
         let trace = Rc::new(RefCell::new(Vec::new()));
         let mut subsystems: Vec<Box<dyn Subsystem>> = vec![

@@ -306,7 +306,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(cfg.seed);
         let mut obs = NoopInstrumentation;
-        let world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
         let wheel = ProbeWheel::new(&world);
         // lcm(4, 30) minutes.
         assert_eq!(wheel.period(), 60);
@@ -341,7 +341,7 @@ mod tests {
             let mut cfg = cfg.clone();
             cfg.reference_kernels = reference;
             let mut obs = NoopInstrumentation;
-            let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+            let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
             let mut wheel = ProbeWheel::new(&world);
             for m in 1..=8u64 {
                 wheel.tick(&mut world, SimTime::from_mins(m));
@@ -378,7 +378,7 @@ mod tests {
                 .expect("pool");
             pool.install(|| {
                 let mut obs = NoopInstrumentation;
-                let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+                let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
                 let mut wheel = ProbeWheel::new(&world);
                 for m in 1..=8u64 {
                     wheel.tick(&mut world, SimTime::from_mins(m));

@@ -78,7 +78,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(cfg.seed);
         let mut obs = NoopInstrumentation;
-        let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
         let mut sub = ResolverRefresh::new(cfg.resolver_update);
 
         let uniform_shares = world.legit_shares;

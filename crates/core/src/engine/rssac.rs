@@ -299,7 +299,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(cfg.seed);
         let mut obs = NoopInstrumentation;
-        let mut world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let mut world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
         let mut fluid = FluidTraffic::new(cfg.fluid_step);
         let mut acct = RssacAccounting::new(&cfg);
 

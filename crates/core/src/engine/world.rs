@@ -2,7 +2,7 @@
 //! measurement state, and the per-window fluid scratchpad that lets
 //! subsystems scheduled at the same instant hand results to each other.
 
-use crate::config::ScenarioConfig;
+use crate::config::{ConfigError, ScenarioConfig};
 use crate::deployment::{self, LetterDeployment};
 use crate::engine::faults::FaultState;
 use crate::engine::instrument::Instrumentation;
@@ -21,6 +21,7 @@ use rootcast_netsim::{BinnedSeries, SimDuration, SimRng, SimTime};
 use rootcast_rssac::{DailyReport, RssacCollector};
 use rootcast_topology::{gen, AsGraph, Tier};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Results of the most recent fluid window, published by
 /// [`FluidTraffic`](crate::engine::FluidTraffic) for the accounting
@@ -48,15 +49,15 @@ pub struct FluidScratch {
 pub struct SimWorld<'a> {
     pub cfg: &'a ScenarioConfig,
     pub rng_factory: &'a SimRng,
-    pub graph: AsGraph,
+    pub graph: Arc<AsGraph>,
     /// The 13 root letters, in service order.
     pub letters: Vec<Letter>,
     /// One service per letter, plus `.nl` at `nl_index` if enabled.
     pub services: Vec<AnycastService>,
     pub nl_index: Option<usize>,
     pub facility_table: FacilityTable,
-    pub botnet: Botnet,
-    pub pop_weights: Vec<f64>,
+    pub botnet: Arc<Botnet>,
+    pub pop_weights: Arc<Vec<f64>>,
     pub resolvers: ResolverPopulation,
     /// Cached per-letter legitimate weight vectors (refreshed by the
     /// resolver subsystem). `offered_per_site` normalizes its weight
@@ -73,7 +74,7 @@ pub struct SimWorld<'a> {
     /// opens — the analogue of the paper's 7-day RSSAC baseline.
     pub baseline_shares: [f64; 13],
     pub first_attack: SimTime,
-    pub fleet: VpFleet,
+    pub fleet: Arc<VpFleet>,
     pub cleaning: CleaningReport,
     pub pipeline: MeasurementPipeline,
     pub collectors: BTreeMap<Letter, RouteCollector>,
@@ -103,17 +104,52 @@ pub struct SimWorld<'a> {
     pub obs: &'a mut dyn Instrumentation,
 }
 
-impl<'a> SimWorld<'a> {
-    /// Build the full world for `cfg`: topology, deployments, traffic
-    /// sources, the calibrated-and-cleaned VP fleet, and all
-    /// accounting state, exactly as of `SimTime::ZERO`.
-    pub fn build(
-        cfg: &'a ScenarioConfig,
-        rng_factory: &'a SimRng,
-        obs: &'a mut dyn Instrumentation,
-    ) -> SimWorld<'a> {
-        let graph = gen::generate(&cfg.topology, rng_factory);
-        let n_ases = graph.len();
+/// The expensive immutable part of a world: topology, deployments,
+/// baseline services with their computed RIBs, the botnet, population
+/// weights, the generated VP fleet, and the `t = 0` calibration pass's
+/// [`CleaningReport`]. Everything here is a pure function of the
+/// scenario's substrate knobs ([`ScenarioConfig::substrate_key`]: seed,
+/// topology, fleet, botnet, `.nl` inclusion) — build it once, wrap it
+/// in an `Arc`, and stamp out per-run [`SimWorld`]s with
+/// [`SimWorld::from_substrate`]. Per-run knobs (attack schedule, fault
+/// plan, facility capacities, site capacity/policy overrides, rates,
+/// cadences) never enter the substrate, so a sweep varying only those
+/// pays the topology + RIB + calibration cost exactly once per shard.
+///
+/// `SimWorld::build` itself is now the composition
+/// `Substrate::build` → `from_substrate`, so a shared-substrate run is
+/// bit-identical to a standalone [`run`](crate::sim::run) by
+/// construction: there is only one build path.
+pub struct Substrate {
+    /// [`ScenarioConfig::substrate_key`] of the config this was built
+    /// from; runs against a mismatching config are rejected.
+    pub key: u64,
+    pub graph: Arc<AsGraph>,
+    pub deployments: Vec<LetterDeployment>,
+    /// The 13 root letters, in service order.
+    pub letters: Vec<Letter>,
+    /// Pristine baseline services (RIBs computed, queues empty). Cloned
+    /// per run and then retuned by any site overrides.
+    pub services: Vec<AnycastService>,
+    pub nl_index: Option<usize>,
+    pub botnet: Arc<Botnet>,
+    pub pop_weights: Arc<Vec<f64>>,
+    pub fleet: Arc<VpFleet>,
+    /// Calibration-pass cleaning verdicts. Calibration probes at
+    /// `t = 0` see empty queues and default trackers, so they depend
+    /// only on the RIBs, server counts, and host ASes — none of which a
+    /// site override can touch ([`rootcast_anycast::SiteTuning`]).
+    pub cleaning: CleaningReport,
+}
+
+impl Substrate {
+    /// Build the substrate for `cfg`'s substrate knobs. Draws from its
+    /// own `SimRng::new(cfg.seed)`, exactly the streams the monolithic
+    /// build used ("calibration" plus the topology/botnet/fleet
+    /// generators'), so the result is independent of who builds it.
+    pub fn build(cfg: &ScenarioConfig) -> Substrate {
+        let rng_factory = SimRng::new(cfg.seed);
+        let graph = gen::generate(&cfg.topology, &rng_factory);
 
         let deployments = deployment::nov2015_deployments(&graph);
         let mut services: Vec<AnycastService> = deployments
@@ -140,27 +176,10 @@ impl<'a> SimWorld<'a> {
             None
         };
 
-        let mut facility_table = FacilityTable::new();
-        for &(fid, cap) in &cfg.facility_capacities {
-            facility_table.register(fid, cap, cap * 0.5);
-        }
-
-        let botnet = Botnet::generate(&graph, cfg.botnet.clone(), rng_factory);
+        let botnet = Botnet::generate(&graph, cfg.botnet.clone(), &rng_factory);
         let pop_weights = population_weights(&graph);
-        let resolvers = ResolverPopulation::new(n_ases);
-        let legit_weights: Vec<Vec<f64>> = letters
-            .iter()
-            .map(|&l| resolvers.letter_weights(l, &pop_weights))
-            .collect();
-        let legit_shares = resolvers.aggregate_shares(&pop_weights);
-        let first_attack = cfg
-            .attack
-            .windows()
-            .first()
-            .map(|w| w.start)
-            .unwrap_or(SimTime::MAX);
 
-        let fleet = VpFleet::generate(&graph, &cfg.fleet, rng_factory);
+        let fleet = VpFleet::generate(&graph, &cfg.fleet, &rng_factory);
         // Calibration pass: one probe per (VP, letter) to feed hijack
         // detection, exactly how the paper's cleaning classifies VPs.
         let mut calibration: Vec<RawMeasurement> = Vec::with_capacity(fleet.len() * letters.len());
@@ -175,7 +194,104 @@ impl<'a> SimWorld<'a> {
         }
         let cleaning = clean_fleet(&fleet, &calibration);
 
-        let mut pipeline = MeasurementPipeline::new(cfg.pipeline.clone(), fleet.len());
+        Substrate {
+            key: cfg.substrate_key(),
+            graph: Arc::new(graph),
+            deployments,
+            letters,
+            services,
+            nl_index,
+            botnet: Arc::new(botnet),
+            pop_weights: Arc::new(pop_weights),
+            fleet: Arc::new(fleet),
+            cleaning,
+        }
+    }
+}
+
+impl<'a> SimWorld<'a> {
+    /// Build the full world for `cfg`: topology, deployments, traffic
+    /// sources, the calibrated-and-cleaned VP fleet, and all
+    /// accounting state, exactly as of `SimTime::ZERO`. This is
+    /// [`Substrate::build`] followed by [`Self::from_substrate`] — the
+    /// sweep runner calls the two halves separately to share the first.
+    pub fn build(
+        cfg: &'a ScenarioConfig,
+        rng_factory: &'a SimRng,
+        obs: &'a mut dyn Instrumentation,
+    ) -> Result<SimWorld<'a>, ConfigError> {
+        let substrate = Substrate::build(cfg);
+        SimWorld::from_substrate(cfg, rng_factory, &substrate, obs)
+    }
+
+    /// Stamp out the per-run mutable world over a prebuilt [`Substrate`]:
+    /// clone the baseline services (cheap next to recomputing their
+    /// RIBs), apply the config's site overrides, and build all per-run
+    /// accounting state. Fails with [`ConfigError::BadOverride`] when an
+    /// override names a site the deployment doesn't have, and rejects a
+    /// substrate built for different substrate knobs.
+    pub fn from_substrate(
+        cfg: &'a ScenarioConfig,
+        rng_factory: &'a SimRng,
+        substrate: &Substrate,
+        obs: &'a mut dyn Instrumentation,
+    ) -> Result<SimWorld<'a>, ConfigError> {
+        if substrate.key != cfg.substrate_key() {
+            return Err(ConfigError::BadOverride(format!(
+                "substrate key mismatch: built for {:#018x}, config needs {:#018x} \
+                 (seed/topology/fleet/botnet/include_nl differ)",
+                substrate.key,
+                cfg.substrate_key()
+            )));
+        }
+        let graph = Arc::clone(&substrate.graph);
+        let n_ases = graph.len();
+        let letters = substrate.letters.clone();
+        let nl_index = substrate.nl_index;
+
+        let mut services = substrate.services.clone();
+        for ov in &cfg.site_overrides {
+            let si = letters
+                .iter()
+                .position(|&l| l == ov.letter)
+                .ok_or_else(|| {
+                    ConfigError::BadOverride(format!("letter {} has no service", ov.letter))
+                })?;
+            let idx = services[si].site_by_code(&ov.site).ok_or_else(|| {
+                ConfigError::BadOverride(format!(
+                    "{} has no site {:?} (deployed: {})",
+                    ov.letter,
+                    ov.site,
+                    services[si]
+                        .sites()
+                        .iter()
+                        .map(|s| s.spec.code.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?;
+            services[si].retune_site(idx, &ov.tuning);
+        }
+
+        let mut facility_table = FacilityTable::new();
+        for &(fid, cap) in &cfg.facility_capacities {
+            facility_table.register(fid, cap, cap * 0.5);
+        }
+
+        let resolvers = ResolverPopulation::new(n_ases);
+        let legit_weights: Vec<Vec<f64>> = letters
+            .iter()
+            .map(|&l| resolvers.letter_weights(l, &substrate.pop_weights))
+            .collect();
+        let legit_shares = resolvers.aggregate_shares(&substrate.pop_weights);
+        let first_attack = cfg
+            .attack
+            .windows()
+            .first()
+            .map(|w| w.start)
+            .unwrap_or(SimTime::MAX);
+
+        let mut pipeline = MeasurementPipeline::new(cfg.pipeline.clone(), substrate.fleet.len());
         for (i, &letter) in letters.iter().enumerate() {
             let codes: Vec<String> = services[i]
                 .sites()
@@ -201,7 +317,7 @@ impl<'a> SimWorld<'a> {
 
         let n_days = (cfg.horizon.as_secs() / 86_400).max(1) as usize;
         let mut rssac: BTreeMap<Letter, RssacCollector> = BTreeMap::new();
-        for d in &deployments {
+        for d in &substrate.deployments {
             if let Some(capture) = d.rssac_capture {
                 rssac.insert(d.letter, RssacCollector::new(d.letter, n_days, capture));
             }
@@ -223,7 +339,7 @@ impl<'a> SimWorld<'a> {
             })
             .unwrap_or_default();
 
-        SimWorld {
+        Ok(SimWorld {
             cfg,
             rng_factory,
             graph,
@@ -231,16 +347,16 @@ impl<'a> SimWorld<'a> {
             services,
             nl_index,
             facility_table,
-            botnet,
-            pop_weights,
+            botnet: Arc::clone(&substrate.botnet),
+            pop_weights: Arc::clone(&substrate.pop_weights),
             resolvers,
             legit_weights,
             legit_weights_version: 1,
             baseline_shares: legit_shares,
             legit_shares,
             first_attack,
-            fleet,
-            cleaning,
+            fleet: Arc::clone(&substrate.fleet),
+            cleaning: substrate.cleaning.clone(),
             pipeline,
             collectors,
             rssac,
@@ -248,13 +364,13 @@ impl<'a> SimWorld<'a> {
             attack_queries_by_day,
             legit_queries_by_day,
             nl_series,
-            deployments,
+            deployments: substrate.deployments.clone(),
             fluid: FluidScratch::default(),
             faults: FaultState::default(),
             metrics: engine_registry(),
             trace: EventTrace::new(&cfg.trace),
             obs,
-        }
+        })
     }
 
     /// Record a routing change with the letter's BGPmon-style collector
@@ -304,7 +420,7 @@ mod tests {
         cfg.pipeline.horizon = cfg.horizon;
         let rngf = SimRng::new(cfg.seed);
         let mut obs = NoopInstrumentation;
-        let world = SimWorld::build(&cfg, &rngf, &mut obs);
+        let world = SimWorld::build(&cfg, &rngf, &mut obs).expect("world builds");
         assert_eq!(world.letters.len(), 13);
         assert_eq!(world.services.len(), 14); // 13 letters + .nl
         assert_eq!(world.nl_index, Some(13));

@@ -7,8 +7,61 @@
 
 use crate::config::ConfigError;
 use rootcast_atlas::PipelineError;
-use rootcast_dns::{NameError, WireError};
+use rootcast_dns::{Letter, NameError, WireError};
 use std::fmt;
+
+/// An analysis builder was asked for something the run cannot answer.
+/// These replace the old library panics: a caller driving figures over
+/// a degraded or differently-configured run gets a typed error (or a
+/// skip) instead of an `.expect` blowing up the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// A raster figure was requested for a letter the pipeline did not
+    /// record per-VP timelines for (`PipelineConfig::raster_letters`).
+    LetterNotRastered {
+        letter: Letter,
+        /// The letters that *were* rastered, for the error message.
+        available: Vec<Letter>,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::LetterNotRastered { letter, available } => write!(
+                f,
+                "letter {letter} has no per-VP raster timelines (rastered: {})",
+                available
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// The sweep runner failed outside any individual scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// The plan has no runs.
+    EmptyPlan,
+    /// Checkpoint manifest I/O or parse failure (path, cause).
+    Checkpoint(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptyPlan => write!(f, "sweep plan has no runs"),
+            SweepError::Checkpoint(m) => write!(f, "checkpoint manifest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
 
 /// Any error a rootcast driver or analysis can surface.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +74,10 @@ pub enum RootcastError {
     Name(NameError),
     /// The measurement pipeline rejected an operation.
     Pipeline(PipelineError),
+    /// An analysis builder was asked for data the run does not hold.
+    Analysis(AnalysisError),
+    /// The multi-scenario sweep runner failed.
+    Sweep(SweepError),
 }
 
 impl fmt::Display for RootcastError {
@@ -30,6 +87,8 @@ impl fmt::Display for RootcastError {
             RootcastError::Wire(e) => write!(f, "dns wire format: {e}"),
             RootcastError::Name(e) => write!(f, "domain name: {e}"),
             RootcastError::Pipeline(e) => write!(f, "measurement pipeline: {e}"),
+            RootcastError::Analysis(e) => write!(f, "analysis: {e}"),
+            RootcastError::Sweep(e) => write!(f, "sweep: {e}"),
         }
     }
 }
@@ -41,7 +100,21 @@ impl std::error::Error for RootcastError {
             RootcastError::Wire(e) => Some(e),
             RootcastError::Name(e) => Some(e),
             RootcastError::Pipeline(e) => Some(e),
+            RootcastError::Analysis(e) => Some(e),
+            RootcastError::Sweep(e) => Some(e),
         }
+    }
+}
+
+impl From<AnalysisError> for RootcastError {
+    fn from(e: AnalysisError) -> RootcastError {
+        RootcastError::Analysis(e)
+    }
+}
+
+impl From<SweepError> for RootcastError {
+    fn from(e: SweepError) -> RootcastError {
+        RootcastError::Sweep(e)
     }
 }
 

@@ -27,16 +27,26 @@ pub mod error;
 pub mod policy_model;
 pub mod render;
 pub mod sim;
+pub mod sweep;
 
-pub use config::{ConfigError, ScenarioConfig};
+pub use config::{ConfigError, ScenarioConfig, SiteOverride};
 pub use deployment::{nl_deployment, nov2015_deployments, LetterDeployment};
 pub use engine::{
     render_metrics, FaultKind, FaultPlan, FaultSpec, Instrumentation, NoopInstrumentation,
-    Profiler, RunProfile, RunStats, Subsystem, TraceConfig, TraceEvent, TraceEventKind,
+    Profiler, RunProfile, RunStats, Substrate, Subsystem, TraceConfig, TraceEvent, TraceEventKind,
     TraceSnapshot,
 };
-pub use error::RootcastError;
-pub use sim::{run, run_observed, run_profiled, SimOutput};
+pub use error::{AnalysisError, RootcastError, SweepError};
+pub use sim::{run, run_observed, run_profiled, run_with_substrate, SimOutput};
+pub use sweep::{
+    output_digest, run_sweep, run_sweep_with, ConfigPatch, SeedMode, SweepAxis, SweepOptions,
+    SweepPlan, SweepRecord, SweepReport, SweepRun,
+};
+
+// Re-export the vocabulary sweeps are written in: site tuning plus the
+// attack-schedule types ConfigPatch accepts.
+pub use rootcast_anycast::{SiteTuning, StressPolicy};
+pub use rootcast_attack::{AttackSchedule, AttackWindow};
 
 // Re-export the vocabulary types users need to consume the outputs.
 pub use rootcast_dns::Letter;

@@ -35,6 +35,7 @@
 
 use crate::deployment::{self, LetterDeployment};
 use crate::engine::metrics::keys;
+use crate::engine::Substrate;
 use crate::engine::{
     drive, FaultInjector, FluidTraffic, Instrumentation, MaintenanceChurn, ProbeWheel, Profiler,
     ResolverRefresh, RssacAccounting, RunProfile, RunStats, SimWorld, StatsCollector, Subsystem,
@@ -104,9 +105,49 @@ pub fn run_observed(
     cfg.validate()?;
     let rng_factory = SimRng::new(cfg.seed);
     obs.on_phase_start("build_world");
-    let mut world = SimWorld::build(cfg, &rng_factory, obs);
+    let world = SimWorld::build(cfg, &rng_factory, obs)?;
     world.obs.on_phase_end("build_world");
+    drive_world(world)
+}
 
+/// Run the scenario over a prebuilt shared [`Substrate`] (topology,
+/// deployments, baseline RIBs, botnet, fleet, calibration), paying only
+/// the per-run build cost. `SimWorld::build` is exactly
+/// `Substrate::build` + `SimWorld::from_substrate`, so the output is
+/// bit-identical to [`run`] on the same config — the sweep runner's
+/// determinism contract rests on this single shared build path. Fails
+/// with a typed error when the substrate was built for different
+/// substrate knobs ([`ScenarioConfig::substrate_key`]) or an override
+/// names an unknown site.
+pub fn run_with_substrate(
+    cfg: &ScenarioConfig,
+    substrate: &Substrate,
+) -> Result<SimOutput, RootcastError> {
+    let mut stats = StatsCollector::default();
+    let mut out = run_observed_with_substrate(cfg, substrate, &mut stats)?;
+    out.run_stats = stats.finish();
+    Ok(out)
+}
+
+/// [`run_with_substrate`] with a caller-supplied observer.
+pub fn run_observed_with_substrate(
+    cfg: &ScenarioConfig,
+    substrate: &Substrate,
+    obs: &mut dyn Instrumentation,
+) -> Result<SimOutput, RootcastError> {
+    cfg.validate()?;
+    let rng_factory = SimRng::new(cfg.seed);
+    obs.on_phase_start("build_world");
+    let world = SimWorld::from_substrate(cfg, &rng_factory, substrate, obs)?;
+    world.obs.on_phase_end("build_world");
+    drive_world(world)
+}
+
+/// Drive a built world to completion and package the output: the common
+/// back half of every entry point.
+fn drive_world(mut world: SimWorld<'_>) -> Result<SimOutput, RootcastError> {
+    let cfg = world.cfg;
+    let rng_factory = world.rng_factory;
     // Seeding order is the same-instant tie-break: accounting must
     // follow the fluid step whose window it settles, and faults apply
     // after every production subsystem has ticked the instant.

@@ -1,19 +1,29 @@
-//! Policy explorer: the §2.2 withdraw-vs-absorb model, swept.
+//! Policy explorer: the §2.2 withdraw-vs-absorb model, then the same
+//! question asked of the full simulator via the sweep engine.
 //!
 //! ```text
 //! cargo run --release --example policy_explorer
 //! ```
 //!
-//! Prints the paper's five cases, then sweeps attack strength A0 = A1
-//! from 0 to beyond the big site's capacity and reports which strategy
-//! wins at each level — the quantitative version of the paper's
+//! Part 1 prints the paper's five analytic cases and sweeps attack
+//! strength through the closed-form model — the quantitative version of
 //! "which of the five cases applies depends on attack rate, location,
 //! and site capacity".
+//!
+//! Part 2 re-asks the question with packets instead of algebra: one
+//! shared substrate (topology, baseline RIBs, calibrated fleet), a
+//! grid of stress policies for K's overloaded European sites × attack
+//! rates, executed by [`rootcast::run_sweep`] and ranked by
+//! worst-letter availability.
 
 use rootcast::policy_model::{paper_cases, paper_deployment, render_cases, Strategy};
 use rootcast::render::TextTable;
+use rootcast::{
+    run_sweep, AttackSchedule, ConfigPatch, Letter, ScenarioConfig, SiteOverride, SiteTuning,
+    StressPolicy, SweepAxis, SweepPlan,
+};
 
-fn main() {
+fn analytic_model() {
     // The five canonical cases.
     println!("{}", render_cases(&paper_cases()));
 
@@ -72,7 +82,67 @@ fn main() {
     for (a, winner) in transitions {
         println!("  a >= {a:.1}: {winner}");
     }
+}
+
+/// Retune both of K's overloaded European sites to one stress policy.
+fn k_policy(policy: StressPolicy) -> ConfigPatch {
+    let mut patch = ConfigPatch::none();
+    for site in ["LHR", "FRA"] {
+        patch = patch.with_site_override(SiteOverride::new(
+            Letter::K,
+            site,
+            SiteTuning::none().with_policy(policy),
+        ));
+    }
+    patch
+}
+
+fn simulated_sweep() {
+    let plan = SweepPlan::grid(
+        "k-policy-vs-rate",
+        ScenarioConfig::small(),
+        &[
+            SweepAxis::new(
+                "policy",
+                vec![
+                    ("absorb", k_policy(StressPolicy::Absorb)),
+                    ("withdraw", k_policy(StressPolicy::withdraw_default())),
+                    ("sticky", k_policy(StressPolicy::withdraw_sticky())),
+                ],
+            ),
+            SweepAxis::new(
+                "rate",
+                vec![
+                    (
+                        "2M",
+                        ConfigPatch::none().with_attack(AttackSchedule::nov2015(2_000_000.0)),
+                    ),
+                    (
+                        "5M",
+                        ConfigPatch::none().with_attack(AttackSchedule::nov2015(5_000_000.0)),
+                    ),
+                ],
+            ),
+        ],
+    );
+    println!(
+        "\nsimulated: {} scenarios over one shared substrate...",
+        plan.runs.len()
+    );
+    let report = run_sweep(&plan).expect("valid sweep");
+    print!("{}", report.render());
+    println!(
+        "substrates built: {}  engine windows simulated: {}",
+        report.n_substrates,
+        report.rollup.counter("fluid.windows").unwrap_or(0)
+    );
+}
+
+fn main() {
+    analytic_model();
     println!("\nreading: small attacks need no action; mid-size attacks reward");
     println!("withdrawing toward spare capacity (\"less can be more\"); attacks");
     println!("beyond any site's capacity make degraded absorption optimal.");
+
+    simulated_sweep();
 }

@@ -104,7 +104,7 @@ fn main() {
     ));
 
     // Figure 11 — the VP raster and cohorts.
-    let fig11 = raster::figure11(&out, Letter::K, &["LHR", "FRA"], 300);
+    let fig11 = raster::figure11(&out, Letter::K, &["LHR", "FRA"], 300).expect("K is rastered");
     tables.push(("fig11_cohorts", fig11.render_cohorts()));
 
     // Figures 12/13 — per-server behaviour.

@@ -2,9 +2,9 @@
 # Benchmark trajectory harness.
 #
 # Runs every criterion suite in crates/bench with the fixed sample
-# budget each group pins (10 samples for whole-scenario runs, 20 for
-# kernels and figure regeneration) and assembles a machine-readable
-# snapshot, BENCH_PR3.json, at the repo root:
+# budget each group pins (10 samples for whole-scenario runs and
+# sweeps, 20 for kernels and figure regeneration) and assembles a
+# machine-readable snapshot, BENCH_PR5.json, at the repo root:
 #
 #   {
 #     "baseline": { "<bench id>": {median_ns, min_ns, max_ns, samples} },
@@ -12,26 +12,35 @@
 #     "speedup":  { "<bench id>": baseline_median / current_median }
 #   }
 #
-# The "baseline" block is sticky: when BENCH_PR3.json already exists its
+# The "baseline" block is sticky: when BENCH_PR5.json already exists its
 # baseline is carried forward unchanged, so the committed pre-PR numbers
 # stay the fixed reference point and "speedup" always reads as
-# improvement-over-baseline. Delete the file (or the block) to re-freeze.
+# improvement-over-baseline. A fresh file seeds its baseline from the
+# previous snapshot's "current" block (BENCH_PR3.json) where bench ids
+# overlap, so the trajectory stays comparable across PRs. Delete the
+# file (or the block) to re-freeze.
 #
 # Usage: scripts/bench.sh   (from anywhere inside the repo)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT=BENCH_PR3.json
+OUT=BENCH_PR5.json
+PREV=BENCH_PR3.json
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
-for bench in kernels simulation figures ablations; do
+for bench in kernels simulation figures ablations sweep; do
     BENCH_JSON="$TMP" cargo bench -p rootcast-bench --bench "$bench"
 done
 
 current=$(jq -s 'map({(.id): {median_ns, min_ns, max_ns, samples}}) | add' "$TMP")
 if [ -f "$OUT" ]; then
     baseline=$(jq '.baseline' "$OUT")
+elif [ -f "$PREV" ]; then
+    # New snapshot file: freeze this run as the baseline, but keep the
+    # previous PR's measurements for every bench id that still exists.
+    baseline=$(jq --argjson current "$current" '.current as $prev
+        | $current | with_entries(.value = ($prev[.key] // .value))' "$PREV")
 else
     baseline=$current
 fi

@@ -9,7 +9,8 @@
 //! `ScenarioConfig::small()` must agree bit for bit.
 
 use rootcast::{
-    run, FaultKind, FaultPlan, Letter, ScenarioConfig, SimDuration, SimOutput, SimTime,
+    run, run_with_substrate, FaultKind, FaultPlan, Letter, ScenarioConfig, SimDuration, SimOutput,
+    SimTime, Substrate,
 };
 
 /// A bit-exact digest of everything the analysis layer consumes.
@@ -165,6 +166,29 @@ fn tracing_is_a_pure_observer() {
         dark.metrics.counter("fluid.policy_transitions"),
         traced.metrics.counter("fluid.policy_transitions")
     );
+}
+
+#[test]
+fn shared_substrate_runs_are_bit_identical_to_standalone_runs() {
+    // The sweep engine's determinism contract: running a scenario over
+    // a prebuilt shared substrate — with per-run knobs (here a 3×
+    // legitimate-load change) applied on top — is bit-identical to a
+    // cold standalone run of the same config. `SimWorld::build` is
+    // exactly `Substrate::build` + `from_substrate`, so this pins that
+    // the two paths cannot drift apart.
+    let base = ScenarioConfig::small();
+    let mut variant = base.clone();
+    variant.legit_total_qps *= 3.0;
+
+    let substrate = Substrate::build(&base);
+    for cfg in [&base, &variant] {
+        let shared = summarize(&run_with_substrate(cfg, &substrate).expect("valid scenario"));
+        let standalone = summarize(&run(cfg).expect("valid scenario"));
+        assert_eq!(
+            shared, standalone,
+            "substrate sharing changed simulation output"
+        );
+    }
 }
 
 #[test]

@@ -73,7 +73,7 @@ fn observation_3_flips_and_route_changes_align_with_events() {
 #[test]
 fn observation_4_some_users_stick_others_flip() {
     let out = scenario();
-    let fig11 = raster::figure11(out, Letter::K, &["LHR", "FRA"], 300);
+    let fig11 = raster::figure11(out, Letter::K, &["LHR", "FRA"], 300).expect("K is rastered");
     let counts = fig11.cohort_counts();
     let total: usize = counts.iter().map(|(_, n)| n).sum();
     assert!(total > 0, "no focal VPs found");

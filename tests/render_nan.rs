@@ -64,7 +64,11 @@ fn all_tables(out: &rootcast::SimOutput) -> Vec<TextTable> {
     tables.push(routing::figure9(out).render());
     tables.push(flips::figure10(out, Letter::K, "LHR").render());
     tables.push(flips::figure10(out, Letter::K, "FRA").render());
-    tables.push(raster::figure11(out, Letter::K, &["LHR", "FRA"], 300).render_cohorts());
+    tables.push(
+        raster::figure11(out, Letter::K, &["LHR", "FRA"], 300)
+            .expect("K is rastered")
+            .render_cohorts(),
+    );
     tables.push(servers::figures12_13(out).render());
     tables.push(collateral::figure14(out, Letter::D).render());
     tables.push(collateral::figure15(out).render());

@@ -1,9 +1,14 @@
 //! Offline stand-in for `serde_json`.
 //!
-//! rootcast declares serde_json for future figure/table emission but
-//! does not call it anywhere in the workspace yet. This stand-in
-//! provides a minimal JSON `Value` plus a `json!`-free surface so the
-//! dependency resolves offline; extend it if emission lands.
+//! Provides a minimal JSON `Value` tree with compact `Display`
+//! rendering and a recursive-descent [`Value::parse`], which is what
+//! rootcast's sweep checkpoint manifest reads and writes. The vendored
+//! `serde` derives are vacuous markers, so there is no `to_string` /
+//! `from_str` over arbitrary types — callers build and walk `Value`
+//! trees by hand.
+//!
+//! Caveat: numbers are `f64`, so integers above 2^53 do not round-trip
+//! through `Number` — encode 64-bit hashes and seeds as strings.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -17,6 +22,203 @@ pub enum Value {
     String(String),
     Array(Vec<Value>),
     Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Parse a JSON document. Returns `None` on any syntax error or
+    /// trailing garbage — the caller treats the document as absent.
+    pub fn parse(s: &str) -> Option<Value> {
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Object field lookup; `None` on non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a number; fails on fractional values and values
+    /// outside `u64` (including anything past f64's 2^53 exactness).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn eat(b: &[u8], pos: &mut usize, lit: &str) -> Option<()> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Value> {
+    skip_ws(b, pos);
+    match b.get(*pos)? {
+        b'n' => eat(b, pos, "null").map(|()| Value::Null),
+        b't' => eat(b, pos, "true").map(|()| Value::Bool(true)),
+        b'f' => eat(b, pos, "false").map(|()| Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Value::Array(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos)? != &b':' {
+                    return None;
+                }
+                *pos += 1;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Value::Object(map));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        _ => parse_number(b, pos).map(Value::Number),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
+    if b.get(*pos)? != &b'"' {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        // Surrogates (only reachable via escapes of
+                        // astral-plane chars, which Display never
+                        // emits) are rejected rather than paired.
+                        out.push(char::from_u32(code)?);
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar, multi-byte sequences whole.
+                let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<f64> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    if *pos == start {
+        return None;
+    }
+    std::str::from_utf8(&b[start..*pos]).ok()?.parse().ok()
 }
 
 impl fmt::Display for Value {
@@ -90,5 +292,47 @@ mod tests {
     fn escapes_strings() {
         let v = Value::String("a\"b\\c\nd".to_string());
         assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "label".to_string(),
+            Value::String("a=1,b=\"x\"\n".to_string()),
+        );
+        obj.insert("hash".to_string(), Value::String(u64::MAX.to_string()));
+        obj.insert("wall_ms".to_string(), Value::Number(12.75));
+        obj.insert("resumed".to_string(), Value::Bool(false));
+        obj.insert("none".to_string(), Value::Null);
+        obj.insert(
+            "counters".to_string(),
+            Value::Array(vec![
+                Value::Array(vec![
+                    Value::String("fluid.windows".into()),
+                    Value::Number(3.0),
+                ]),
+                Value::Array(vec![]),
+            ]),
+        );
+        let v = Value::Object(obj);
+        assert_eq!(Value::parse(&v.to_string()), Some(v));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "{\"a\":1} trailing",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert_eq!(Value::parse(bad), None, "should reject {bad:?}");
+        }
+        // Whitespace and nesting are fine.
+        assert!(Value::parse(" { \"a\" : [ 1 , -2.5e3 , true ] } ").is_some());
     }
 }
